@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper from a
+single shared measurement campaign (built once per benchmark session).  The
+population size is chosen so the whole harness completes in well under a
+minute while keeping every distribution statistically meaningful.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scanners.orchestrator import CampaignResults, MeasurementCampaign
+from repro.webpki.population import InternetPopulation, PopulationConfig, generate_population
+
+#: Population size used by the benchmark harness.
+BENCH_POPULATION_SIZE = 2500
+
+
+@pytest.fixture(scope="session")
+def population() -> InternetPopulation:
+    return generate_population(PopulationConfig(size=BENCH_POPULATION_SIZE, seed=2022))
+
+
+@pytest.fixture(scope="session")
+def campaign_results(population: InternetPopulation) -> CampaignResults:
+    campaign = MeasurementCampaign(
+        population=population,
+        run_sweep=True,
+        sweep_sample_size=250,
+        spoofed_targets_per_provider=40,
+    )
+    return campaign.run()

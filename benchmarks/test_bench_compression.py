@@ -1,0 +1,15 @@
+"""Benchmark: the §4.2 certificate-compression experiment (synthetic + wild)."""
+
+from repro.analysis.figures import compression
+
+
+def test_bench_compression(benchmark, campaign_results):
+    result = benchmark(
+        compression.compute,
+        campaign_results.quic_deployments(),
+        campaign_results.compression,
+    )
+    print()
+    print(result.render_text())
+    assert result.share_below_limit_compressed > 0.95
+    assert 0.5 < result.median_synthetic_rate < 0.85

@@ -1,0 +1,11 @@
+"""Benchmark: Figure 2(b) — CDFs of X.509 certificate field sizes."""
+
+from repro.analysis.figures import figure02b
+
+
+def test_bench_figure02b(benchmark, campaign_results):
+    certificates = figure02b.certificates_from_results(campaign_results)
+    result = benchmark(figure02b.compute, certificates)
+    print()
+    print(result.render_text())
+    assert result.ordering_by_median()[0] == "Extensions"

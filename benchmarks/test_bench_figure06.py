@@ -1,0 +1,15 @@
+"""Benchmark: Figure 6 — certificate chain size distributions by QUIC support."""
+
+from repro.analysis.figures import figure06
+
+
+def test_bench_figure06(benchmark, campaign_results):
+    result = benchmark(
+        figure06.compute,
+        campaign_results.quic_deployments(),
+        campaign_results.https_only_deployments(),
+    )
+    print()
+    print(result.render_text())
+    assert result.quic_median < result.https_only_median
+    assert 0.2 < result.share_exceeding_limit < 0.5

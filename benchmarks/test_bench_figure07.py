@@ -1,0 +1,20 @@
+"""Benchmark: Figure 7 — top-10 parent certificate chains (QUIC and HTTPS-only)."""
+
+from repro.analysis.figures import figure07
+
+
+def test_bench_figure07a(benchmark, campaign_results):
+    result = benchmark(figure07.compute, campaign_results.quic_deployments(), "QUIC services")
+    print()
+    print(result.render_text())
+    assert result.top10_coverage > 0.9
+    assert "Cloudflare" in result.rows[0].label
+
+
+def test_bench_figure07b(benchmark, campaign_results):
+    result = benchmark(
+        figure07.compute, campaign_results.https_only_deployments(), "HTTPS-only services"
+    )
+    print()
+    print(result.render_text())
+    assert 0.55 < result.top10_coverage < 0.9

@@ -1,0 +1,10 @@
+"""Benchmark: Figure 8 — mean certificate field sizes by certificate type."""
+
+from repro.analysis.figures import figure08
+
+
+def test_bench_figure08(benchmark, campaign_results):
+    result = benchmark(figure08.compute, campaign_results.quic_deployments())
+    print()
+    print(result.render_text())
+    assert result.large_chain_nonleaf_heaviest

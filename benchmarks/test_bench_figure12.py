@@ -1,0 +1,11 @@
+"""Benchmark: Figure 12 — QUIC / HTTPS-only deployment shares per rank group."""
+
+from repro.analysis.figures import figure12
+
+
+def test_bench_figure12(benchmark, campaign_results):
+    deployments = list(campaign_results.population.deployments)
+    result = benchmark(figure12.compute, deployments)
+    print()
+    print(result.render_text())
+    assert 0.15 < result.mean_quic_share < 0.30

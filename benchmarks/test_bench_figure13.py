@@ -1,0 +1,10 @@
+"""Benchmark: Figure 13 — handshake classification per rank group."""
+
+from repro.analysis.figures import figure13
+
+
+def test_bench_figure13(benchmark, campaign_results):
+    result = benchmark(figure13.compute, campaign_results.handshakes)
+    print()
+    print(result.render_text())
+    assert len(result.group_labels) >= 5

@@ -1,0 +1,10 @@
+"""Benchmark: Figure 14 — cruise-liner certificates among QUIC services."""
+
+from repro.analysis.figures import figure14
+
+
+def test_bench_figure14(benchmark, campaign_results):
+    result = benchmark(figure14.compute, campaign_results.quic_deployments())
+    print()
+    print(result.render_text())
+    assert result.share_san_below_10pct > 0.5

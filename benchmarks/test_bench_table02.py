@@ -1,0 +1,14 @@
+"""Benchmark: Table 2 — crypto algorithms and key lengths in use."""
+
+from repro.analysis.figures import table02
+
+
+def test_bench_table02(benchmark, campaign_results):
+    result = benchmark(
+        table02.compute,
+        campaign_results.quic_deployments(),
+        campaign_results.https_only_deployments(),
+    )
+    print()
+    print(result.render_text())
+    assert result.ecdsa_share("QUIC", "Leaf") > result.ecdsa_share("HTTPS-only", "Leaf")

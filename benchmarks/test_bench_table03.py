@@ -1,0 +1,10 @@
+"""Benchmark: Table 3 — history of the anti-amplification limit across QUIC drafts."""
+
+from repro.analysis.figures import table03
+
+
+def test_bench_table03(benchmark):
+    result = benchmark(table03.compute)
+    print()
+    print(result.render_text())
+    assert len(result.rows) == 5

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Scenario: how browser choices interact with a server's certificate chain.
+
+For a handful of realistic deployments (Cloudflare-fronted, Let's Encrypt long
+chain, Google-hosted, small ECDSA chain) this example shows, per browser
+profile from the paper's Table 1:
+
+* whether the first connection completes in one round trip,
+* what the client-side Initial-size cache (§5 guidance) would use on the next
+  connection, and
+* what certificate compression would change.
+
+Usage::
+
+    python examples/browser_handshake_planning.py
+"""
+
+from __future__ import annotations
+
+from repro.core import InitialSizeCache, predict_handshake, required_initial_size
+from repro.core.limits import BROWSER_PROFILES
+from repro.quic import BUILTIN_PROFILES, QuicClientConfig, simulate_handshake
+from repro.tls.cert_compression import CertificateCompressionAlgorithm
+from repro.x509.ca import default_hierarchy
+
+DEPLOYMENTS = (
+    ("cdn-fronted.example", "Cloudflare ECC CA-3", "cloudflare-like"),
+    ("lets-encrypt-default.example", "Let's Encrypt R3 + cross-signed X1", "rfc-compliant"),
+    ("cloud-hosted.example", "Google 1C3", "google-like"),
+    ("lean-ecdsa.example", "Let's Encrypt E1 (short)", "rfc-compliant"),
+)
+
+
+def main() -> None:
+    hierarchy = default_hierarchy()
+    cache = InitialSizeCache(default_initial_size=1250)
+
+    for domain, chain_profile, behavior in DEPLOYMENTS:
+        chain = hierarchy.profiles[chain_profile].issue(domain)
+        print(f"\n=== {domain} — {chain_profile} ({chain.total_size} B chain, {behavior}) ===")
+
+        for key, browser in BROWSER_PROFILES.items():
+            if not browser.supports_quic:
+                print(f"  {browser.name:<16s} no QUIC support, stays on TCP+TLS")
+                continue
+            client = QuicClientConfig(
+                initial_datagram_size=browser.initial_size,
+                compression_algorithms=browser.compression_algorithms,
+            )
+            outcome = simulate_handshake(domain, chain, BUILTIN_PROFILES[behavior], client)
+            trace = outcome.trace
+            cache.record_handshake(domain, trace.server_bytes_total, outcome.handshake_class.value == "1-RTT")
+            compressed = (
+                f", with {trace.compression_negotiated.label}"
+                if trace.compression_negotiated
+                else ""
+            )
+            print(
+                f"  {browser.name:<16s} Initial={browser.initial_size:>4d} B  ->  "
+                f"{outcome.handshake_class.value:<13s} "
+                f"({trace.round_trips} RTT, {trace.server_bytes_total} B from server{compressed})"
+            )
+
+        needed = required_initial_size(chain)
+        needed_compressed = required_initial_size(chain, CertificateCompressionAlgorithm.BROTLI)
+        prediction = predict_handshake(chain, 1250)
+        print(f"  prediction for a 1250 B Initial: {prediction.predicted_class.value}")
+        if needed is None:
+            print("  no Initial size achieves 1-RTT without compression (chain too large)")
+        else:
+            print(f"  smallest 1-RTT Initial without compression: {needed} B")
+        print(f"  smallest 1-RTT Initial with brotli compression: {needed_compressed} B")
+        print(f"  next visit would use a cached Initial of {cache.initial_size_for(domain)} B")
+
+
+if __name__ == "__main__":
+    main()

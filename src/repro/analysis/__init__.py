@@ -1,0 +1,14 @@
+"""Analysis layer: datasets, CDFs, statistics and per-figure reproductions.
+
+Every table and figure of the paper's evaluation has a module under
+:mod:`repro.analysis.figures` exposing a ``compute(results)`` function that
+takes a :class:`repro.scanners.orchestrator.CampaignResults` (or the relevant
+slice of it) and returns a structured result with a ``render_text()`` method,
+so the whole evaluation can be regenerated as text tables / data series.
+"""
+
+from .cdf import EmpiricalCdf
+from .dataset import Table, Column
+from .stats import median, mean, percentile, share
+
+__all__ = ["EmpiricalCdf", "Table", "Column", "median", "mean", "percentile", "share"]

@@ -1,0 +1,83 @@
+"""Empirical cumulative distribution functions (most paper figures are CDFs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class EmpiricalCdf:
+    """An empirical CDF over a sample of values."""
+
+    values: Tuple[float, ...]
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "EmpiricalCdf":
+        return cls(tuple(sorted(float(v) for v in values)))
+
+    def __post_init__(self) -> None:
+        if list(self.values) != sorted(self.values):
+            object.__setattr__(self, "values", tuple(sorted(self.values)))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.values
+
+    # -- evaluation -------------------------------------------------------------
+
+    def probability_at(self, x: float) -> float:
+        """P(X <= x)."""
+        if self.is_empty:
+            return 0.0
+        # binary search for rightmost value <= x
+        lo, hi = 0, len(self.values)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.values[mid] <= x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo / len(self.values)
+
+    def quantile(self, q: float) -> float:
+        """Smallest x with P(X <= x) >= q."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+        if self.is_empty:
+            return 0.0
+        index = min(max(int(q * len(self.values) + 0.999999) - 1, 0), len(self.values) - 1)
+        return self.values[index]
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    # -- plotting helpers --------------------------------------------------------
+
+    def points(self, max_points: int = 200) -> List[Tuple[float, float]]:
+        """(x, P(X <= x)) pairs, downsampled for rendering."""
+        if self.is_empty:
+            return []
+        step = max(1, len(self.values) // max_points)
+        points = []
+        for index in range(0, len(self.values), step):
+            points.append((self.values[index], (index + 1) / len(self.values)))
+        if points[-1][1] != 1.0:
+            points.append((self.values[-1], 1.0))
+        return points
+
+    def render_text(self, label: str = "value", width: int = 50, rows: int = 12) -> str:
+        """A coarse ASCII rendering of the CDF for terminal reports."""
+        if self.is_empty:
+            return f"(empty CDF of {label})"
+        lines = [f"CDF of {label} (n={len(self.values)})"]
+        for row in range(rows, 0, -1):
+            q = row / rows
+            x = self.quantile(q)
+            bar = "#" * int(width * q)
+            lines.append(f"{q:5.2f} | {bar:<{width}} {x:,.0f}")
+        return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Per-figure and per-table reproduction modules.
+
+Naming follows the paper: ``figure03`` reproduces Figure 3, ``table02``
+Table 2, and so on.  Each module exposes a ``compute`` function returning a
+result object with ``render_text()`` plus the raw series, so benchmarks and
+reports share the same code path.
+"""
+
+from . import (
+    figure02b,
+    figure03,
+    figure04,
+    figure05,
+    figure06,
+    figure07,
+    figure08,
+    figure09,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    table01,
+    table02,
+    table03,
+    compression,
+    meta_prefix,
+    funnel,
+)
+
+ALL_FIGURE_MODULES = {
+    "figure02b": figure02b,
+    "figure03": figure03,
+    "figure04": figure04,
+    "figure05": figure05,
+    "figure06": figure06,
+    "figure07": figure07,
+    "figure08": figure08,
+    "figure09": figure09,
+    "figure11": figure11,
+    "figure12": figure12,
+    "figure13": figure13,
+    "figure14": figure14,
+    "table01": table01,
+    "table02": table02,
+    "table03": table03,
+    "compression": compression,
+    "meta_prefix": meta_prefix,
+    "funnel": funnel,
+}
+
+__all__ = ["ALL_FIGURE_MODULES"] + list(ALL_FIGURE_MODULES)

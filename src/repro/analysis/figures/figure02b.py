@@ -1,0 +1,71 @@
+"""Figure 2(b): size distribution of X.509 certificate fields.
+
+The paper shows CDFs of the Subject, Issuer, PublicKeyInfo, Extensions and
+Signature field sizes over all collected certificates; extensions followed by
+signature and public key are the most space-consuming fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from ...x509.certificate import Certificate
+from ...x509.field_sizes import measure_field_sizes
+from ..cdf import EmpiricalCdf
+
+FIELD_NAMES = ("Subject", "Issuer", "PublicKeyInfo", "Extensions", "Signature")
+
+
+@dataclass(frozen=True)
+class FieldSizeDistributions:
+    """One CDF per certificate field."""
+
+    cdfs: Dict[str, EmpiricalCdf]
+    certificate_count: int
+
+    def median(self, field: str) -> float:
+        return self.cdfs[field].median
+
+    def ordering_by_median(self) -> List[str]:
+        """Fields ordered by descending median size (the paper's observation)."""
+        return sorted(FIELD_NAMES, key=lambda field: self.median(field), reverse=True)
+
+    def render_text(self) -> str:
+        lines = [f"Figure 2(b): certificate field size CDFs over {self.certificate_count} certificates"]
+        for field in FIELD_NAMES:
+            cdf = self.cdfs[field]
+            lines.append(
+                f"  {field:<14s} median={cdf.median:7.0f} B  p90={cdf.quantile(0.9):7.0f} B  "
+                f"max={cdf.quantile(1.0):7.0f} B"
+            )
+        lines.append("  largest fields by median: " + " > ".join(self.ordering_by_median()[:3]))
+        return "\n".join(lines)
+
+
+def compute(certificates: Iterable[Certificate]) -> FieldSizeDistributions:
+    """Measure every certificate and build per-field CDFs."""
+    per_field: Dict[str, List[float]] = {name: [] for name in FIELD_NAMES}
+    count = 0
+    for certificate in certificates:
+        sizes = measure_field_sizes(certificate)
+        per_field["Subject"].append(sizes.subject)
+        per_field["Issuer"].append(sizes.issuer)
+        per_field["PublicKeyInfo"].append(sizes.public_key_info)
+        per_field["Extensions"].append(sizes.extensions)
+        per_field["Signature"].append(sizes.signature)
+        count += 1
+    return FieldSizeDistributions(
+        cdfs={name: EmpiricalCdf.from_values(values) for name, values in per_field.items()},
+        certificate_count=count,
+    )
+
+
+def certificates_from_results(results) -> List[Certificate]:
+    """All certificates delivered by the population (leaves and CA certs)."""
+    certificates: List[Certificate] = []
+    for deployment in results.population.deployments:
+        chain = deployment.delivered_chain
+        if chain is not None:
+            certificates.extend(chain.certificates)
+    return certificates

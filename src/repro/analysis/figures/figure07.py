@@ -1,0 +1,114 @@
+"""Figure 7: the top-10 parent certificate chains and their sizes.
+
+Services are grouped by the *parent chain* they deliver (all certificates
+above the leaf).  For each of the top-10 groups the figure shows the per-depth
+certificate sizes, the median leaf size and the largest observed leaf, set
+against the common amplification limits.  The paper highlights the strong
+consolidation among QUIC services (top-10 chains cover 96.5 %) versus
+HTTPS-only services (72 %).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...core.limits import COMMON_AMPLIFICATION_LIMITS
+from ...webpki.deployment import DomainDeployment
+from ..stats import median
+
+
+@dataclass(frozen=True)
+class ParentChainRow:
+    """One row (one parent chain) of Figure 7."""
+
+    parent_chain: Tuple[str, ...]
+    share: float
+    service_count: int
+    parent_sizes_by_depth: Tuple[int, ...]
+    median_leaf_size: int
+    max_leaf_size: int
+
+    @property
+    def parent_chain_size(self) -> int:
+        return sum(self.parent_sizes_by_depth)
+
+    @property
+    def typical_total_size(self) -> int:
+        """Parent chain plus the median leaf (the paper's white + yellow boxes)."""
+        return self.parent_chain_size + self.median_leaf_size
+
+    def exceeds_limit(self, limit_bytes: int) -> bool:
+        return self.typical_total_size > limit_bytes
+
+    @property
+    def label(self) -> str:
+        return " / ".join(self.parent_chain)
+
+
+@dataclass(frozen=True)
+class TopParentChainsFigure:
+    """Top-10 parent chains for one service group (7a: QUIC, 7b: HTTPS-only)."""
+
+    group_label: str
+    rows: Tuple[ParentChainRow, ...]
+    total_services: int
+
+    @property
+    def top10_coverage(self) -> float:
+        return sum(row.share for row in self.rows)
+
+    def rows_exceeding(self, limit_bytes: int) -> int:
+        return sum(1 for row in self.rows if row.exceeds_limit(limit_bytes))
+
+    def render_text(self) -> str:
+        lines = [
+            f"Figure 7 ({self.group_label}): top-{len(self.rows)} parent chains over "
+            f"{self.total_services} services (coverage {self.top10_coverage:.1%})"
+        ]
+        for index, row in enumerate(self.rows, start=1):
+            limit_markers = "".join(
+                "!" if row.exceeds_limit(limit) else "." for limit in COMMON_AMPLIFICATION_LIMITS
+            )
+            lines.append(
+                f"  {index:>2d}. {row.share:6.2%}  parent={row.parent_chain_size:5d} B  "
+                f"median leaf={row.median_leaf_size:5d} B  max leaf={row.max_leaf_size:5d} B "
+                f"[{limit_markers}]  {row.label}"
+            )
+        return "\n".join(lines)
+
+
+def compute(
+    deployments: Sequence[DomainDeployment],
+    group_label: str,
+    top_n: int = 10,
+) -> TopParentChainsFigure:
+    """Group deployments by parent chain and build the top-N rows."""
+    groups: Dict[Tuple[str, ...], List[DomainDeployment]] = defaultdict(list)
+    total = 0
+    for deployment in deployments:
+        chain = deployment.delivered_chain
+        if chain is None:
+            continue
+        if not chain.is_correctly_ordered():
+            continue  # the paper excludes incorrectly ordered chains here
+        groups[chain.parent_chain_key()].append(deployment)
+        total += 1
+
+    ranked = sorted(groups.items(), key=lambda item: len(item[1]), reverse=True)[:top_n]
+    rows: List[ParentChainRow] = []
+    for key, members in ranked:
+        leaf_sizes = [d.delivered_chain.leaf_size for d in members]
+        parent_sizes = members[0].delivered_chain.sizes_by_depth()[1:]
+        rows.append(
+            ParentChainRow(
+                parent_chain=key,
+                share=len(members) / total if total else 0.0,
+                service_count=len(members),
+                parent_sizes_by_depth=tuple(parent_sizes),
+                median_leaf_size=int(median(leaf_sizes)),
+                max_leaf_size=max(leaf_sizes),
+            )
+        )
+    return TopParentChainsFigure(group_label=group_label, rows=tuple(rows), total_services=total)

@@ -1,0 +1,84 @@
+"""Figure 8: mean certificate field sizes by certificate type.
+
+Certificates of QUIC domains are split into leaf / non-leaf and into chains of
+at most 4000 bytes versus larger chains; for each of the four groups the mean
+size of every field is reported.  The paper's takeaway: for large chains the
+public-key and signature sections of *non-leaf* certificates dominate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ...x509.certificate import Certificate
+from ...x509.field_sizes import CertificateFieldSizes, mean_field_sizes
+from ...webpki.deployment import DomainDeployment
+
+#: The chain-size threshold the paper uses to separate "large" chains.
+CHAIN_SIZE_THRESHOLD = 4000
+
+GROUPS = (
+    ("<=4000, Non-leaf", False, False),
+    ("<=4000, Leaf", True, False),
+    (">4000, Non-leaf", False, True),
+    (">4000, Leaf", True, True),
+)
+
+
+@dataclass(frozen=True)
+class FieldSizesByCertType:
+    """Mean field sizes for each (leaf?, large-chain?) group."""
+
+    means: Dict[str, CertificateFieldSizes]
+    counts: Dict[str, int]
+    threshold: int = CHAIN_SIZE_THRESHOLD
+
+    def group(self, label: str) -> CertificateFieldSizes:
+        return self.means[label]
+
+    @property
+    def large_chain_nonleaf_heaviest(self) -> bool:
+        """The paper's claim: for large chains, the public-key and signature
+        sections of *non-leaf* certificates carry the biggest load."""
+        def key_and_signature(label: str) -> int:
+            sizes = self.means[label]
+            return sizes.public_key_info + sizes.signature
+
+        heaviest = key_and_signature(">4000, Non-leaf")
+        return all(
+            heaviest >= key_and_signature(label)
+            for label, _, _ in GROUPS
+            if label != ">4000, Non-leaf"
+        )
+
+    def render_text(self) -> str:
+        lines = ["Figure 8: mean certificate field sizes by certificate type (QUIC domains)"]
+        for label, _, _ in GROUPS:
+            sizes = self.means[label]
+            lines.append(
+                f"  {label:<18s} n={self.counts[label]:>6d}  subject={sizes.subject:4d}  "
+                f"issuer={sizes.issuer:4d}  spki={sizes.public_key_info:4d}  "
+                f"ext={sizes.extensions:4d}  sig={sizes.signature:4d}  total={sizes.total:5d}"
+            )
+        return "\n".join(lines)
+
+
+def compute(quic_deployments: Sequence[DomainDeployment]) -> FieldSizesByCertType:
+    """Split certificates into the four groups and average their field sizes."""
+    buckets: Dict[str, List[Certificate]] = {label: [] for label, _, _ in GROUPS}
+    for deployment in quic_deployments:
+        chain = deployment.delivered_chain
+        if chain is None:
+            continue
+        is_large = chain.total_size > CHAIN_SIZE_THRESHOLD
+        for index, certificate in enumerate(chain):
+            is_leaf = index == 0
+            for label, wants_leaf, wants_large in GROUPS:
+                if wants_leaf == is_leaf and wants_large == is_large:
+                    buckets[label].append(certificate)
+                    break
+    return FieldSizesByCertType(
+        means={label: mean_field_sizes(certs) for label, certs in buckets.items()},
+        counts={label: len(certs) for label, certs in buckets.items()},
+    )

@@ -1,0 +1,94 @@
+"""Figure 12: QUIC and HTTPS-only deployment shares per Tranco rank group.
+
+The paper splits the list into 100k rank groups and finds deployment rates
+stable across popularity: ≈21 % QUIC plus ≈59 % additional HTTPS-only names
+per group, with a small standard deviation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ...webpki.deployment import DomainDeployment, ServiceCategory
+from ..dataset import Column, Table
+
+
+@dataclass(frozen=True)
+class RankGroupShares:
+    """QUIC / HTTPS-only share per rank group."""
+
+    group_labels: Tuple[str, ...]
+    quic_shares: Tuple[float, ...]
+    https_only_shares: Tuple[float, ...]
+    group_sizes: Tuple[int, ...]
+
+    @property
+    def mean_quic_share(self) -> float:
+        return sum(self.quic_shares) / len(self.quic_shares) if self.quic_shares else 0.0
+
+    @property
+    def quic_share_stddev(self) -> float:
+        if not self.quic_shares:
+            return 0.0
+        mean = self.mean_quic_share
+        return math.sqrt(sum((s - mean) ** 2 for s in self.quic_shares) / len(self.quic_shares))
+
+    def as_table(self) -> Table:
+        table = Table(
+            [
+                Column("rank_group"),
+                Column("quic_share", ".1%"),
+                Column("https_only_share", ".1%"),
+                Column("names"),
+            ]
+        )
+        for label, quic, https_only, size in zip(
+            self.group_labels, self.quic_shares, self.https_only_shares, self.group_sizes
+        ):
+            table.add_row(label, quic, https_only, size)
+        return table
+
+    def render_text(self) -> str:
+        text = self.as_table().render_text("Figure 12: service popularity across rank groups")
+        return text + (
+            f"\n  mean QUIC share {self.mean_quic_share:.1%}, "
+            f"stddev {self.quic_share_stddev * 100:.1f} percentage points"
+        )
+
+
+def compute(
+    deployments: Sequence[DomainDeployment],
+    group_count: int = 10,
+) -> RankGroupShares:
+    """Split the population into ``group_count`` equal rank groups."""
+    if not deployments:
+        return RankGroupShares((), (), (), ())
+    max_rank = max(d.rank for d in deployments)
+    group_size = max(1, math.ceil(max_rank / group_count))
+
+    labels: List[str] = []
+    quic_shares: List[float] = []
+    https_shares: List[float] = []
+    sizes: List[int] = []
+    for group_index in range(group_count):
+        start = group_index * group_size + 1
+        end = (group_index + 1) * group_size + 1
+        members = [d for d in deployments if start <= d.rank < end]
+        if not members:
+            continue
+        labels.append(f"[{start}, {end})")
+        sizes.append(len(members))
+        quic_shares.append(
+            sum(1 for d in members if d.category is ServiceCategory.QUIC) / len(members)
+        )
+        https_shares.append(
+            sum(1 for d in members if d.category is ServiceCategory.HTTPS_ONLY) / len(members)
+        )
+    return RankGroupShares(
+        group_labels=tuple(labels),
+        quic_shares=tuple(quic_shares),
+        https_only_shares=tuple(https_shares),
+        group_sizes=tuple(sizes),
+    )

@@ -1,0 +1,64 @@
+"""§4.3 active scan of the Meta point of presence: the three response groups.
+
+A single unacknowledged Initial is sent to every host of the /24; responses
+fall into three groups: (1) no QUIC service, (2) ≈one flight (>5× the probe),
+(3) a retransmission storm (>20×, the paper observes ≈28×).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ...scanners.zmap import ZmapProbeResult
+from ..stats import mean
+
+
+@dataclass(frozen=True)
+class MetaResponseGroups:
+    """Counts and mean amplification per response group."""
+
+    group_counts: Dict[int, int]
+    group_mean_amplification: Dict[int, float]
+    group_domains: Dict[int, Tuple[str, ...]]
+    probed_addresses: int
+
+    def count(self, group: int) -> int:
+        return self.group_counts.get(group, 0)
+
+    def mean_amplification(self, group: int) -> float:
+        return self.group_mean_amplification.get(group, 0.0)
+
+    def render_text(self) -> str:
+        lines = [f"Meta /24 active scan: {self.probed_addresses} addresses probed"]
+        descriptions = {
+            1: "no QUIC/HTTP3 service (or <=150 B)",
+            2: "single bounded response",
+            3: "retransmission storm",
+        }
+        for group in (1, 2, 3):
+            domains = ", ".join(sorted(set(self.group_domains.get(group, ())))[:4])
+            lines.append(
+                f"  group {group}: {self.count(group):>4d} hosts  "
+                f"mean amplification {self.mean_amplification(group):5.1f}x  "
+                f"({descriptions[group]}) {('[' + domains + ']') if domains else ''}"
+            )
+        return "\n".join(lines)
+
+
+def compute(results: Sequence[ZmapProbeResult]) -> MetaResponseGroups:
+    counts: Dict[int, int] = {}
+    amplifications: Dict[int, List[float]] = {}
+    domains: Dict[int, List[str]] = {}
+    for result in results:
+        group = result.response_group()
+        counts[group] = counts.get(group, 0) + 1
+        amplifications.setdefault(group, []).append(result.amplification_factor)
+        if result.domain:
+            domains.setdefault(group, []).append(result.domain)
+    return MetaResponseGroups(
+        group_counts=counts,
+        group_mean_amplification={g: mean(v) for g, v in amplifications.items()},
+        group_domains={g: tuple(v) for g, v in domains.items()},
+        probed_addresses=len(results),
+    )

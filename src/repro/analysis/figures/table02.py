@@ -1,0 +1,99 @@
+"""Table 2: crypto algorithms and key lengths in use.
+
+Relative shares of RSA-2048/4096 and ECDSA-256/384 keys, split into leaf and
+non-leaf certificates and into QUIC versus HTTPS-only services.  The paper
+finds that HTTPS-only services depend heavily on RSA while QUIC leaves are
+predominantly ECDSA P-256.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ...webpki.deployment import DomainDeployment
+from ...x509.keys import KeyAlgorithm
+from ..dataset import Column, Table
+
+KEY_COLUMNS = (
+    KeyAlgorithm.RSA_2048,
+    KeyAlgorithm.RSA_4096,
+    KeyAlgorithm.ECDSA_P256,
+    KeyAlgorithm.ECDSA_P384,
+)
+
+
+@dataclass(frozen=True)
+class CryptoAlgorithmShares:
+    """Shares per (service group, certificate type, key algorithm)."""
+
+    shares: Dict[Tuple[str, str, KeyAlgorithm], float]
+    counts: Dict[Tuple[str, str], int]
+
+    def share(self, service_group: str, cert_type: str, algorithm: KeyAlgorithm) -> float:
+        return self.shares.get((service_group, cert_type, algorithm), 0.0)
+
+    def ecdsa_share(self, service_group: str, cert_type: str) -> float:
+        return self.share(service_group, cert_type, KeyAlgorithm.ECDSA_P256) + self.share(
+            service_group, cert_type, KeyAlgorithm.ECDSA_P384
+        )
+
+    def rsa_share(self, service_group: str, cert_type: str) -> float:
+        return self.share(service_group, cert_type, KeyAlgorithm.RSA_2048) + self.share(
+            service_group, cert_type, KeyAlgorithm.RSA_4096
+        )
+
+    def as_table(self) -> Table:
+        table = Table(
+            [
+                Column("service"),
+                Column("certificate"),
+                Column("rsa_2048", ".1%"),
+                Column("rsa_4096", ".1%"),
+                Column("ecdsa_256", ".1%"),
+                Column("ecdsa_384", ".1%"),
+            ]
+        )
+        for service_group in ("QUIC", "HTTPS-only"):
+            for cert_type in ("Non-leaf", "Leaf"):
+                table.add_row(
+                    service_group,
+                    cert_type,
+                    self.share(service_group, cert_type, KeyAlgorithm.RSA_2048),
+                    self.share(service_group, cert_type, KeyAlgorithm.RSA_4096),
+                    self.share(service_group, cert_type, KeyAlgorithm.ECDSA_P256),
+                    self.share(service_group, cert_type, KeyAlgorithm.ECDSA_P384),
+                )
+        return table
+
+    def render_text(self) -> str:
+        return self.as_table().render_text("Table 2: crypto algorithms and key lengths in use")
+
+
+def compute(
+    quic_deployments: Sequence[DomainDeployment],
+    https_only_deployments: Sequence[DomainDeployment],
+) -> CryptoAlgorithmShares:
+    counters: Dict[Tuple[str, str, KeyAlgorithm], int] = {}
+    totals: Dict[Tuple[str, str], int] = {}
+
+    def account(service_group: str, deployments: Sequence[DomainDeployment]) -> None:
+        for deployment in deployments:
+            chain = deployment.delivered_chain
+            if chain is None:
+                continue
+            for index, certificate in enumerate(chain):
+                cert_type = "Leaf" if index == 0 else "Non-leaf"
+                key = (service_group, cert_type)
+                totals[key] = totals.get(key, 0) + 1
+                algo_key = (service_group, cert_type, certificate.key_algorithm)
+                counters[algo_key] = counters.get(algo_key, 0) + 1
+
+    account("QUIC", quic_deployments)
+    account("HTTPS-only", https_only_deployments)
+
+    shares: Dict[Tuple[str, str, KeyAlgorithm], float] = {}
+    for (service_group, cert_type, algorithm), count in counters.items():
+        total = totals[(service_group, cert_type)]
+        shares[(service_group, cert_type, algorithm)] = count / total if total else 0.0
+    return CryptoAlgorithmShares(shares=shares, counts=totals)

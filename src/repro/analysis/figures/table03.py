@@ -1,0 +1,40 @@
+"""Table 3: the anti-amplification limit across QUIC Internet drafts.
+
+A static protocol-history table (Appendix C).  Reproduced from the limits
+registry so reports and documentation cite a single source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ...core.limits import AMPLIFICATION_LIMIT_HISTORY, DraftLimit
+from ..dataset import Column, Table
+
+
+@dataclass(frozen=True)
+class AmplificationHistoryTable:
+    rows: Tuple[DraftLimit, ...]
+
+    @property
+    def byte_limited_since(self) -> str:
+        for row in self.rows:
+            if row.byte_limited:
+                return row.spec
+        return "never"
+
+    def as_table(self) -> Table:
+        table = Table([Column("spec"), Column("date"), Column("rule")])
+        for row in self.rows:
+            table.add_row(row.spec, row.date, row.rule)
+        return table
+
+    def render_text(self) -> str:
+        return self.as_table().render_text(
+            "Table 3: evolution of QUIC amplification mitigation"
+        )
+
+
+def compute() -> AmplificationHistoryTable:
+    return AmplificationHistoryTable(rows=AMPLIFICATION_LIMIT_HISTORY)

@@ -1,0 +1,102 @@
+"""Full-evaluation report generation.
+
+``build_report`` runs every figure/table module against one campaign's results
+and returns a single text report (also used to generate EXPERIMENTS.md), so
+"regenerate the paper's evaluation" is one function call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..quic.handshake import HandshakeClass
+from ..scanners.orchestrator import CampaignResults
+from .figures import (
+    compression,
+    figure02b,
+    figure03,
+    figure04,
+    figure05,
+    figure06,
+    figure07,
+    figure08,
+    figure09,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    funnel,
+    meta_prefix,
+    table01,
+    table02,
+    table03,
+)
+
+
+@dataclass
+class EvaluationReport:
+    """All computed figure/table results plus a rendered text form."""
+
+    sections: Dict[str, object]
+    text: str
+
+    def __getitem__(self, key: str):
+        return self.sections[key]
+
+    def keys(self):
+        return self.sections.keys()
+
+
+def class_shares(results: CampaignResults) -> Dict[HandshakeClass, float]:
+    """Convenience: handshake class shares at the default Initial size."""
+    reachable = results.reachable_handshakes()
+    if not reachable:
+        return {}
+    shares: Dict[HandshakeClass, float] = {}
+    for handshake_class in HandshakeClass:
+        if handshake_class is HandshakeClass.UNREACHABLE:
+            continue
+        shares[handshake_class] = sum(
+            1 for o in reachable if o.handshake_class is handshake_class
+        ) / len(reachable)
+    return shares
+
+
+def build_report(results: CampaignResults, include_sweep: bool = True) -> EvaluationReport:
+    """Compute every experiment of the evaluation and render a text report."""
+    quic = results.quic_deployments()
+    https_only = results.https_only_deployments()
+    observations = results.handshakes
+
+    sections: Dict[str, object] = {}
+    sections["funnel"] = funnel.compute(results.https_scan.funnel, len(quic))
+    sections["figure02b"] = figure02b.compute(figure02b.certificates_from_results(results))
+    if include_sweep and results.sweep is not None:
+        sections["figure03"] = figure03.compute(results.sweep)
+    sections["table01"] = table01.compute(results.compression)
+    sections["figure04"] = figure04.compute(observations)
+    sections["figure05"] = figure05.compute(observations)
+    sections["figure06"] = figure06.compute(quic, https_only)
+    sections["figure07a"] = figure07.compute(quic, "QUIC services")
+    sections["figure07b"] = figure07.compute(https_only, "HTTPS-only services")
+    sections["figure08"] = figure08.compute(quic)
+    sections["table02"] = table02.compute(quic, https_only)
+    sections["compression"] = compression.compute(quic, results.compression)
+    sections["figure09"] = figure09.compute(results.backscatter)
+    sections["meta_prefix"] = meta_prefix.compute(results.meta_probe_before)
+    sections["figure11"] = figure11.compute(results.meta_probe_before, results.meta_probe_after)
+    sections["figure12"] = figure12.compute(list(results.population.deployments))
+    sections["figure13"] = figure13.compute(observations)
+    sections["figure14"] = figure14.compute(quic)
+    sections["table03"] = table03.compute()
+
+    parts: List[str] = ["QUIC / TLS certificate interplay — reproduced evaluation", "=" * 60]
+    for name, section in sections.items():
+        render = getattr(section, "render_text", None)
+        if render is None:
+            continue
+        parts.append("")
+        parts.append(f"## {name}")
+        parts.append(render())
+    return EvaluationReport(sections=sections, text="\n".join(parts))

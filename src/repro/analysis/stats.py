@@ -1,0 +1,38 @@
+"""Small statistics helpers shared by the figure modules."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty input."""
+    collected = list(values)
+    if not collected:
+        return 0.0
+    return sum(collected) / len(collected)
+
+
+def median(values: Iterable[float]) -> float:
+    """Median; 0.0 for an empty input."""
+    return percentile(values, 0.5)
+
+
+def percentile(values: Iterable[float], fraction: float) -> float:
+    """Nearest-rank percentile with linear index rounding."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    ordered: List[float] = sorted(float(v) for v in values)
+    if not ordered:
+        return 0.0
+    index = min(int(round(fraction * (len(ordered) - 1))), len(ordered) - 1)
+    return ordered[index]
+
+
+def share(items: Sequence[T], predicate: Callable[[T], bool]) -> float:
+    """Fraction of ``items`` satisfying ``predicate``; 0.0 for an empty input."""
+    if not items:
+        return 0.0
+    return sum(1 for item in items if predicate(item)) / len(items)

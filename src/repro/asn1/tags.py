@@ -1,0 +1,39 @@
+"""ASN.1 universal tag numbers used by RFC 5280 structures."""
+
+from enum import IntEnum
+
+
+class Tag(IntEnum):
+    """Universal class tag numbers (X.680) relevant to X.509."""
+
+    BOOLEAN = 0x01
+    INTEGER = 0x02
+    BIT_STRING = 0x03
+    OCTET_STRING = 0x04
+    NULL = 0x05
+    OBJECT_IDENTIFIER = 0x06
+    UTF8_STRING = 0x0C
+    PRINTABLE_STRING = 0x13
+    IA5_STRING = 0x16
+    UTC_TIME = 0x17
+    GENERALIZED_TIME = 0x18
+    SEQUENCE = 0x30  # constructed bit already set
+    SET = 0x31  # constructed bit already set
+
+    @staticmethod
+    def context(number: int, constructed: bool = True) -> int:
+        """Return the identifier octet for a context-specific tag.
+
+        ``[number]`` tags are used by ``TBSCertificate`` for the version field
+        and by extensions such as GeneralName.
+        """
+        if not 0 <= number <= 30:
+            raise ValueError(f"context tag number out of single-octet range: {number}")
+        base = 0x80 | number
+        if constructed:
+            base |= 0x20
+        return base
+
+
+CONSTRUCTED_BIT = 0x20
+CONTEXT_CLASS = 0x80

@@ -1,0 +1,126 @@
+"""Command-line interface.
+
+``python -m repro`` exposes the three things a user most often wants without
+writing code:
+
+* ``campaign`` — run the full measurement campaign and print (or write) the
+  evaluation report,
+* ``predict`` — predict the handshake outcome for a CA chain profile and a
+  client Initial size,
+* ``profiles`` — list the built-in CA chain profiles and server behaviours.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis.report import build_report
+from .core import predict_handshake, required_initial_size
+from .quic.profiles import BUILTIN_PROFILES
+from .scanners import MeasurementCampaign
+from .tls.cert_compression import CertificateCompressionAlgorithm
+from .webpki import PopulationConfig, generate_population
+from .x509.ca import default_hierarchy
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'On the Interplay between TLS Certificates and QUIC Performance'",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    campaign = subparsers.add_parser("campaign", help="run the measurement campaign and print the report")
+    campaign.add_argument("--size", type=int, default=3000, help="population size (default: 3000)")
+    campaign.add_argument("--seed", type=int, default=2022, help="population seed (default: 2022)")
+    campaign.add_argument("--sweep", action="store_true", help="also run the Figure 3 Initial-size sweep")
+    campaign.add_argument("--output", type=str, default=None, help="write the report to this file")
+    campaign.add_argument(
+        "--export-dir", type=str, default=None,
+        help="also export the report and per-figure CSV data series to this directory",
+    )
+
+    predict = subparsers.add_parser("predict", help="predict the handshake class for a chain profile")
+    predict.add_argument("--chain", required=True, help="CA chain profile label (see 'profiles')")
+    predict.add_argument("--domain", default="example.org", help="domain to issue the leaf for")
+    predict.add_argument("--initial-size", type=int, default=1357, help="client Initial size in bytes")
+    predict.add_argument("--compression", choices=["none", "zlib", "brotli", "zstd"], default="none")
+
+    subparsers.add_parser("profiles", help="list CA chain profiles and server behaviour profiles")
+    return parser
+
+
+def _run_campaign(args: argparse.Namespace) -> int:
+    population = generate_population(PopulationConfig(size=args.size, seed=args.seed))
+    results = MeasurementCampaign(population=population, run_sweep=args.sweep).run()
+    report = build_report(results, include_sweep=args.sweep)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report.text + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(report.text)
+    if args.export_dir:
+        from .analysis.export import export_evaluation
+
+        exported = export_evaluation(results, args.export_dir, report)
+        print(f"{exported.file_count} files exported to {exported.directory}")
+    return 0
+
+
+def _run_predict(args: argparse.Namespace) -> int:
+    hierarchy = default_hierarchy()
+    if args.chain not in hierarchy.profiles:
+        print(f"unknown chain profile: {args.chain!r} (see 'repro profiles')", file=sys.stderr)
+        return 2
+    chain = hierarchy.profiles[args.chain].issue(args.domain)
+    compression = None
+    if args.compression != "none":
+        compression = {
+            "zlib": CertificateCompressionAlgorithm.ZLIB,
+            "brotli": CertificateCompressionAlgorithm.BROTLI,
+            "zstd": CertificateCompressionAlgorithm.ZSTD,
+        }[args.compression]
+    prediction = predict_handshake(chain, args.initial_size, compression=compression)
+    needed = required_initial_size(chain, compression)
+    print(f"chain profile:       {args.chain}")
+    print(f"delivered chain:     {chain.total_size} bytes over {chain.depth} certificates")
+    print(f"TLS first flight:    {prediction.tls_flight_size} bytes")
+    print(f"estimated wire size: {prediction.estimated_first_flight_bytes} bytes")
+    print(f"amplification budget:{prediction.amplification_budget} bytes (3 x {args.initial_size})")
+    print(f"predicted class:     {prediction.predicted_class.value}")
+    if needed is None:
+        print("smallest 1-RTT Initial: none (the flight cannot fit below the MTU-limited budget)")
+    else:
+        print(f"smallest 1-RTT Initial: {needed} bytes")
+    return 0
+
+
+def _run_profiles(_: argparse.Namespace) -> int:
+    hierarchy = default_hierarchy()
+    print("CA chain profiles:")
+    for label, profile in sorted(hierarchy.profiles.items()):
+        print(f"  {label:<40s} parent chain {profile.parent_chain_size:>5d} B, "
+              f"leaf {profile.leaf_key_algorithm.label}")
+    print()
+    print("Server behaviour profiles:")
+    for profile in BUILTIN_PROFILES.values():
+        print(f"  {profile.describe()}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "campaign":
+        return _run_campaign(args)
+    if args.command == "predict":
+        return _run_predict(args)
+    if args.command == "profiles":
+        return _run_profiles(args)
+    return 1  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

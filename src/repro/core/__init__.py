@@ -1,0 +1,74 @@
+"""The paper's primary contribution as a reusable library API.
+
+``repro.core`` exposes the concepts a downstream user needs without touching
+the substrates directly:
+
+* the anti-amplification limit, browser Initial sizes, and the history of the
+  limit across QUIC drafts (:mod:`repro.core.limits`),
+* handshake classification and amplification-factor computation
+  (:mod:`repro.core.classification`, :mod:`repro.core.amplification`),
+* prediction of the handshake outcome from a certificate chain and a client
+  Initial size *without* running a handshake — the interplay model the paper
+  derives (:mod:`repro.core.interplay`),
+* the synthetic certificate-compression study of §4.2
+  (:mod:`repro.core.compression_study`),
+* the §5 guidance, including the client-side Initial-size adaptation cache
+  (:mod:`repro.core.guidance`).
+"""
+
+from .limits import (
+    ANTI_AMPLIFICATION_FACTOR,
+    MIN_INITIAL_SIZE,
+    BrowserProfile,
+    BROWSER_PROFILES,
+    AMPLIFICATION_LIMIT_HISTORY,
+    DraftLimit,
+    amplification_limit,
+)
+from .classification import HandshakeClass, classify_flight, classify_outcome
+from .amplification import (
+    amplification_factor,
+    exceeds_limit,
+    AmplificationReport,
+    summarize_amplification,
+)
+from .interplay import (
+    HandshakePrediction,
+    predict_handshake,
+    required_initial_size,
+    server_flight_size,
+)
+from .compression_study import CompressionStudyResult, run_compression_study
+from .guidance import (
+    InitialSizeCache,
+    CacheEntry,
+    StakeholderGuidance,
+    derive_guidance,
+)
+
+__all__ = [
+    "ANTI_AMPLIFICATION_FACTOR",
+    "MIN_INITIAL_SIZE",
+    "BrowserProfile",
+    "BROWSER_PROFILES",
+    "AMPLIFICATION_LIMIT_HISTORY",
+    "DraftLimit",
+    "amplification_limit",
+    "HandshakeClass",
+    "classify_flight",
+    "classify_outcome",
+    "amplification_factor",
+    "exceeds_limit",
+    "AmplificationReport",
+    "summarize_amplification",
+    "HandshakePrediction",
+    "predict_handshake",
+    "required_initial_size",
+    "server_flight_size",
+    "CompressionStudyResult",
+    "run_compression_study",
+    "InitialSizeCache",
+    "CacheEntry",
+    "StakeholderGuidance",
+    "derive_guidance",
+]

@@ -1,0 +1,76 @@
+"""Amplification-factor computation and aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from .limits import ANTI_AMPLIFICATION_FACTOR
+
+
+def amplification_factor(bytes_received_from_server: int, bytes_sent_by_client: int) -> float:
+    """UDP payload bytes received divided by bytes sent (the paper's metric)."""
+    if bytes_sent_by_client <= 0:
+        raise ValueError("the client must have sent a positive number of bytes")
+    if bytes_received_from_server < 0:
+        raise ValueError("received bytes must be non-negative")
+    return bytes_received_from_server / bytes_sent_by_client
+
+
+def exceeds_limit(
+    bytes_received_from_server: int,
+    bytes_sent_by_client: int,
+    factor: int = ANTI_AMPLIFICATION_FACTOR,
+) -> bool:
+    """Whether a server reply violates the anti-amplification limit."""
+    return bytes_received_from_server > factor * bytes_sent_by_client
+
+
+@dataclass(frozen=True)
+class AmplificationReport:
+    """Summary statistics over a set of amplification factors."""
+
+    count: int
+    minimum: float
+    median: float
+    p90: float
+    p99: float
+    maximum: float
+    share_exceeding_limit: float
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "min": self.minimum,
+            "median": self.median,
+            "p90": self.p90,
+            "p99": self.p99,
+            "max": self.maximum,
+            "share_exceeding_limit": self.share_exceeding_limit,
+        }
+
+
+def _percentile(ordered: Sequence[float], fraction: float) -> float:
+    if not ordered:
+        return 0.0
+    index = min(int(round(fraction * (len(ordered) - 1))), len(ordered) - 1)
+    return ordered[index]
+
+
+def summarize_amplification(
+    factors: Iterable[float], limit_factor: float = float(ANTI_AMPLIFICATION_FACTOR)
+) -> AmplificationReport:
+    """Aggregate amplification factors into the summary the analyses report."""
+    values: List[float] = sorted(float(f) for f in factors)
+    if not values:
+        return AmplificationReport(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    exceeding = sum(1 for value in values if value > limit_factor)
+    return AmplificationReport(
+        count=len(values),
+        minimum=values[0],
+        median=_percentile(values, 0.5),
+        p90=_percentile(values, 0.9),
+        p99=_percentile(values, 0.99),
+        maximum=values[-1],
+        share_exceeding_limit=exceeding / len(values),
+    )

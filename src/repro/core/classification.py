@@ -1,0 +1,46 @@
+"""Handshake classification helpers (re-exported from the QUIC substrate).
+
+The classification semantics live next to the handshake engine in
+:mod:`repro.quic.handshake`; this module provides the stable public names and
+light wrappers that work on plain numbers, so analysis code and downstream
+users can classify observations that did not come from our own simulator
+(for example replayed pcap summaries).
+"""
+
+from __future__ import annotations
+
+from ..quic.handshake import HandshakeClass, HandshakeOutcome, HandshakeTrace, classify
+from .limits import ANTI_AMPLIFICATION_FACTOR
+
+__all__ = ["HandshakeClass", "classify_outcome", "classify_flight"]
+
+
+def classify_outcome(trace: HandshakeTrace) -> HandshakeClass:
+    """Classify a simulated handshake trace (same rules as the scanners)."""
+    return classify(trace)
+
+
+def classify_flight(
+    client_initial_size: int,
+    server_first_rtt_bytes: int,
+    required_round_trips: int,
+    used_retry: bool,
+) -> HandshakeClass:
+    """Classify a handshake from externally observed quantities.
+
+    ``required_round_trips`` counts the round trips needed before the
+    handshake can complete (1 for an immediate completion).  The precedence
+    mirrors §3.2 of the paper: Retry first, then Multi-RTT, then the
+    amplification check, and 1-RTT otherwise.
+    """
+    if client_initial_size <= 0:
+        raise ValueError("client Initial size must be positive")
+    if required_round_trips < 1:
+        raise ValueError("a handshake needs at least one round trip")
+    if used_retry:
+        return HandshakeClass.RETRY
+    if required_round_trips > 1:
+        return HandshakeClass.MULTI_RTT
+    if server_first_rtt_bytes > ANTI_AMPLIFICATION_FACTOR * client_initial_size:
+        return HandshakeClass.AMPLIFICATION
+    return HandshakeClass.ONE_RTT

@@ -1,0 +1,191 @@
+"""The §5 guidance, as executable policy.
+
+Three pieces of the paper's discussion are turned into code:
+
+* :class:`InitialSizeCache` — the client-side mitigation the paper proposes:
+  remember, per server, how large the server's first flight was, and size the
+  next Initial so the flight fits within 3× of it (low latency without
+  certificate compression).
+* :func:`derive_guidance` — turns measurement results into the stakeholder
+  recommendations of §5 (protocol, server implementations, CAs), with the
+  supporting numbers attached so reports can cite them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..x509.chain import CertificateChain
+from .classification import HandshakeClass
+from .interplay import required_initial_size
+from .limits import ANTI_AMPLIFICATION_FACTOR, MAX_INITIAL_SIZE_AT_MTU_1500, MIN_INITIAL_SIZE
+
+
+@dataclass
+class CacheEntry:
+    """Per-server knowledge a client accumulates."""
+
+    server_name: str
+    observed_first_flight_bytes: int
+    achieved_one_rtt: bool
+    suggested_initial_size: int
+
+
+class InitialSizeCache:
+    """Client-side cache of server flight sizes (the §5 client mitigation)."""
+
+    def __init__(
+        self,
+        default_initial_size: int = 1250,
+        mtu_limit: int = MAX_INITIAL_SIZE_AT_MTU_1500,
+    ) -> None:
+        if default_initial_size < MIN_INITIAL_SIZE:
+            raise ValueError("the default Initial size must satisfy the RFC 9000 minimum")
+        self._default = default_initial_size
+        self._mtu_limit = mtu_limit
+        self._entries: Dict[str, CacheEntry] = {}
+
+    # -- use ---------------------------------------------------------------------
+
+    def initial_size_for(self, server_name: str) -> int:
+        """The Initial size to use for the next connection to ``server_name``."""
+        entry = self._entries.get(server_name.lower())
+        if entry is None:
+            return self._default
+        return entry.suggested_initial_size
+
+    def record_handshake(
+        self,
+        server_name: str,
+        server_first_flight_bytes: int,
+        achieved_one_rtt: bool,
+    ) -> CacheEntry:
+        """Update the cache after a handshake with what the server needed."""
+        if server_first_flight_bytes < 0:
+            raise ValueError("flight size must be non-negative")
+        needed = max(
+            MIN_INITIAL_SIZE,
+            -(-server_first_flight_bytes // ANTI_AMPLIFICATION_FACTOR),  # ceil division
+        )
+        suggested = min(max(needed, self._default), self._mtu_limit)
+        entry = CacheEntry(
+            server_name=server_name.lower(),
+            observed_first_flight_bytes=server_first_flight_bytes,
+            achieved_one_rtt=achieved_one_rtt,
+            suggested_initial_size=suggested,
+        )
+        self._entries[entry.server_name] = entry
+        return entry
+
+    def record_chain(self, server_name: str, chain: CertificateChain) -> CacheEntry:
+        """Seed the cache from a known certificate chain (e.g. an HTTPS visit)."""
+        needed = required_initial_size(chain)
+        achieved = needed is not None
+        flight_estimate = chain.total_size + 700
+        entry = CacheEntry(
+            server_name=server_name.lower(),
+            observed_first_flight_bytes=flight_estimate,
+            achieved_one_rtt=achieved,
+            suggested_initial_size=min(needed or self._mtu_limit, self._mtu_limit),
+        )
+        self._entries[entry.server_name] = entry
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, server_name: str) -> bool:
+        return server_name.lower() in self._entries
+
+
+@dataclass(frozen=True)
+class StakeholderGuidance:
+    """One recommendation with the measurement numbers that justify it."""
+
+    audience: str
+    recommendation: str
+    supporting_metric: str
+    value: float
+
+
+def derive_guidance(
+    class_shares: Dict[HandshakeClass, float],
+    median_compression_rate: float,
+    share_compressed_below_limit: float,
+    share_quic_leaf_ecdsa: float,
+) -> List[StakeholderGuidance]:
+    """Produce the §5 recommendations from the measured quantities."""
+    guidance: List[StakeholderGuidance] = []
+    amplification_share = class_shares.get(HandshakeClass.AMPLIFICATION, 0.0)
+    multi_rtt_share = class_shares.get(HandshakeClass.MULTI_RTT, 0.0)
+    one_rtt_share = class_shares.get(HandshakeClass.ONE_RTT, 0.0)
+
+    guidance.append(
+        StakeholderGuidance(
+            audience="IETF / protocol",
+            recommendation=(
+                "Keep the 3x anti-amplification limit: it is tight but large enough for "
+                "1-RTT handshakes with small certificate chains and compression; focus on "
+                "loss handling during the handshake instead of raising the limit."
+            ),
+            supporting_metric="share of handshakes achieving 1-RTT today",
+            value=one_rtt_share,
+        )
+    )
+    guidance.append(
+        StakeholderGuidance(
+            audience="server implementations",
+            recommendation=(
+                "Count padding and retransmitted bytes against the limit, enable packet "
+                "coalescence, and integrate a TLS library with RFC 8879 support."
+            ),
+            supporting_metric="share of handshakes exceeding the limit (non-compliant)",
+            value=amplification_share,
+        )
+    )
+    guidance.append(
+        StakeholderGuidance(
+            audience="certificate authorities",
+            recommendation=(
+                "Issue ECDSA chains end to end and retire RSA-only roots so smaller chains "
+                "can unfold their latency benefit."
+            ),
+            supporting_metric="share of QUIC leaf certificates already using ECDSA",
+            value=share_quic_leaf_ecdsa,
+        )
+    )
+    guidance.append(
+        StakeholderGuidance(
+            audience="operators / clients",
+            recommendation=(
+                "Deploy certificate compression (or client-side Initial sizing caches) to "
+                "avoid multi-RTT handshakes caused by large chains."
+            ),
+            supporting_metric="share of chains fitting the limit once compressed",
+            value=share_compressed_below_limit,
+        )
+    )
+    guidance.append(
+        StakeholderGuidance(
+            audience="operators / clients",
+            recommendation=(
+                "Trim chains: drop superfluous roots and cross-signed variants already in "
+                "client trust stores; this alone moves many deployments back to 1-RTT."
+            ),
+            supporting_metric="share of handshakes needing extra round trips today",
+            value=multi_rtt_share,
+        )
+    )
+    guidance.append(
+        StakeholderGuidance(
+            audience="TLS library maintainers",
+            recommendation=(
+                "Ship RFC 8879 certificate compression; its median rate keeps almost every "
+                "chain below the amplification limit."
+            ),
+            supporting_metric="median certificate-chain compression rate",
+            value=median_compression_rate,
+        )
+    )
+    return guidance

@@ -1,0 +1,38 @@
+"""Simulated network substrate.
+
+The paper's measurements run against the public Internet: DNS resolution via
+8.8.8.8, HTTP(S) origins with redirects, QUIC services on UDP/443, a network
+telescope observing backscatter from spoofed handshakes.  This package
+provides offline equivalents with the same interfaces the scanners need:
+
+* :mod:`repro.netsim.address` — IPv4 addresses and prefixes,
+* :mod:`repro.netsim.dns` — a resolver with the failure modes of §3.1
+  (SERVFAIL, NXDOMAIN, timeout, REFUSED),
+* :mod:`repro.netsim.http` — HTTP/HTTPS origins with 3xx and meta-refresh
+  redirects that deliver TLS certificate chains,
+* :mod:`repro.netsim.network` — a UDP fabric that hosts QUIC services and
+  supports source-address spoofing,
+* :mod:`repro.netsim.telescope` — a passive telescope collecting backscatter.
+"""
+
+from .address import IPv4Address, IPv4Prefix
+from .dns import DnsRcode, DnsResult, SimulatedResolver
+from .http import HttpResponse, HttpOrigin, RedirectKind
+from .network import UdpNetwork, QuicServiceHost, DeliveryResult
+from .telescope import Telescope, BackscatterPacket
+
+__all__ = [
+    "IPv4Address",
+    "IPv4Prefix",
+    "DnsRcode",
+    "DnsResult",
+    "SimulatedResolver",
+    "HttpResponse",
+    "HttpOrigin",
+    "RedirectKind",
+    "UdpNetwork",
+    "QuicServiceHost",
+    "DeliveryResult",
+    "Telescope",
+    "BackscatterPacket",
+]

@@ -1,0 +1,210 @@
+"""End-to-end QUIC handshake simulation and classification.
+
+This module glues the client and server engines together and produces the
+observable quantities the paper's scanners record:
+
+* the handshake class (1-RTT, RETRY, Multi-RTT, Amplification) per §3.2,
+* the amplification factor of the first RTT (Figure 4),
+* the split of received bytes into TLS payload and QUIC overhead (Figure 5),
+* total bytes a server emits towards a spoofed, never-responding client
+  (Figures 9 and 11, §4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Tuple
+
+from ..tls.cert_compression import CertificateCompressionAlgorithm
+from ..tls.handshake_messages import ClientHello
+from ..x509.chain import CertificateChain
+from .anti_amplification import ANTI_AMPLIFICATION_FACTOR
+from .client import QuicClientConfig, build_client_initial_datagram, build_client_second_flight
+from .profiles import ServerBehaviorProfile
+from .server import QuicServer, ServerFlightPlan
+
+
+class HandshakeClass(Enum):
+    """The four handshake groups of the paper's §3.2 plus an unreachable bucket."""
+
+    ONE_RTT = "1-RTT"
+    RETRY = "RETRY"
+    MULTI_RTT = "Multi-RTT"
+    AMPLIFICATION = "Amplification"
+    UNREACHABLE = "Unreachable"
+
+    @property
+    def is_rfc_compliant(self) -> bool:
+        return self in (HandshakeClass.ONE_RTT, HandshakeClass.RETRY, HandshakeClass.MULTI_RTT)
+
+    @property
+    def completes_in_one_rtt(self) -> bool:
+        return self in (HandshakeClass.ONE_RTT, HandshakeClass.AMPLIFICATION)
+
+
+@dataclass(frozen=True)
+class HandshakeTrace:
+    """Byte-level record of one simulated handshake."""
+
+    domain: str
+    client_initial_size: int
+    server_profile: str
+    plan: ServerFlightPlan
+    client_bytes_sent: int
+    compression_negotiated: Optional[CertificateCompressionAlgorithm]
+
+    @property
+    def server_bytes_first_rtt(self) -> int:
+        retry = self.plan.retry_datagram.size if self.plan.retry_datagram else 0
+        return retry + self.plan.first_rtt_bytes
+
+    @property
+    def server_bytes_total(self) -> int:
+        return self.plan.total_bytes
+
+    @property
+    def first_rtt_amplification(self) -> float:
+        """UDP payload received during the first RTT divided by bytes sent."""
+        return self.server_bytes_first_rtt / self.client_initial_size
+
+    @property
+    def amplification_limit_bytes(self) -> int:
+        return ANTI_AMPLIFICATION_FACTOR * self.client_initial_size
+
+    @property
+    def exceeds_amplification_limit(self) -> bool:
+        return self.server_bytes_first_rtt > self.amplification_limit_bytes
+
+    @property
+    def tls_payload_bytes(self) -> int:
+        return self.plan.tls_bytes_total
+
+    @property
+    def quic_overhead_bytes(self) -> int:
+        return max(self.server_bytes_total - self.tls_payload_bytes, 0)
+
+    @property
+    def round_trips(self) -> int:
+        """Round trips until the handshake can complete."""
+        rtts = 1
+        if self.plan.uses_retry:
+            rtts += 1
+        if self.plan.requires_additional_rtt:
+            rtts += 1
+        return rtts
+
+
+@dataclass(frozen=True)
+class HandshakeOutcome:
+    """A classified handshake, the unit the analysis layer aggregates."""
+
+    trace: HandshakeTrace
+    handshake_class: HandshakeClass
+
+    @property
+    def domain(self) -> str:
+        return self.trace.domain
+
+
+def classify(trace: HandshakeTrace) -> HandshakeClass:
+    """Assign a handshake to one of the paper's four groups.
+
+    Precedence follows §3.2: Retry handshakes are their own group regardless
+    of byte counts; handshakes that need extra round trips are Multi-RTT; a
+    handshake that finishes in one round trip is Amplification when the
+    server's first-RTT bytes exceed 3× the client Initial, and 1-RTT otherwise.
+    """
+    if trace.plan.uses_retry:
+        return HandshakeClass.RETRY
+    if trace.plan.requires_additional_rtt:
+        return HandshakeClass.MULTI_RTT
+    if trace.exceeds_amplification_limit:
+        return HandshakeClass.AMPLIFICATION
+    return HandshakeClass.ONE_RTT
+
+
+def simulate_handshake(
+    domain: str,
+    chain: CertificateChain,
+    profile: ServerBehaviorProfile,
+    client: Optional[QuicClientConfig] = None,
+) -> HandshakeOutcome:
+    """Simulate a complete handshake (client responds and validates its address)."""
+    client = client or QuicClientConfig()
+    initial = build_client_initial_datagram(domain, client)
+    client_hello = ClientHello(
+        server_name=domain, compression_algorithms=client.compression_algorithms
+    )
+    server = QuicServer(domain, chain, profile)
+
+    plan = server.respond_to_initial(client_hello, client_initial_size=initial.size)
+    if plan.uses_retry:
+        # The client retries with the token; the rebuilt Initial is the same
+        # size (the token replaces padding bytes).
+        plan = server.respond_to_initial(
+            client_hello, client_initial_size=initial.size, client_sent_retry_token=True
+        )
+        plan = ServerFlightPlan(
+            retry_datagram=server._build_retry(),
+            first_rtt_datagrams=plan.first_rtt_datagrams,
+            deferred_datagrams=plan.deferred_datagrams,
+            tls_flight=plan.tls_flight,
+            tracker=plan.tracker,
+        )
+
+    second_flight = build_client_second_flight(domain, client)
+    client_bytes = initial.size + sum(d.size for d in second_flight)
+    trace = HandshakeTrace(
+        domain=domain,
+        client_initial_size=initial.size,
+        server_profile=profile.name,
+        plan=plan,
+        client_bytes_sent=client_bytes,
+        compression_negotiated=plan.tls_flight.compression,
+    )
+    return HandshakeOutcome(trace=trace, handshake_class=classify(trace))
+
+
+@dataclass(frozen=True)
+class UnvalidatedProbeResult:
+    """Result of sending a single Initial and never acknowledging the response."""
+
+    domain: str
+    server_profile: str
+    client_initial_size: int
+    bytes_received: int
+
+    @property
+    def amplification_factor(self) -> float:
+        return self.bytes_received / self.client_initial_size
+
+    @property
+    def violates_limit(self) -> bool:
+        return self.bytes_received > ANTI_AMPLIFICATION_FACTOR * self.client_initial_size
+
+
+def simulate_unvalidated_probe(
+    domain: str,
+    chain: CertificateChain,
+    profile: ServerBehaviorProfile,
+    client: Optional[QuicClientConfig] = None,
+) -> UnvalidatedProbeResult:
+    """Simulate the §4.3 experiment: one Initial, no ACKs, count server bytes.
+
+    This is what both the ZMap-style active scan and (from the victim's
+    perspective) a spoofed-source handshake produce.
+    """
+    client = client or QuicClientConfig(initial_datagram_size=1252)
+    initial = build_client_initial_datagram(domain, client)
+    client_hello = ClientHello(
+        server_name=domain, compression_algorithms=client.compression_algorithms
+    )
+    server = QuicServer(domain, chain, profile)
+    _, total_bytes = server.unvalidated_transmission(client_hello, client_initial_size=initial.size)
+    return UnvalidatedProbeResult(
+        domain=domain,
+        server_profile=profile.name,
+        client_initial_size=initial.size,
+        bytes_received=total_bytes,
+    )

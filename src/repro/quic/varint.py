@@ -1,0 +1,47 @@
+"""QUIC variable-length integer encoding (RFC 9000 §16)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+class VarintError(ValueError):
+    """Raised for out-of-range values or malformed encodings."""
+
+
+MAX_VARINT = (1 << 62) - 1
+
+
+def varint_size(value: int) -> int:
+    """Number of bytes the varint encoding of ``value`` occupies."""
+    if value < 0 or value > MAX_VARINT:
+        raise VarintError(f"value out of varint range: {value}")
+    if value < 1 << 6:
+        return 1
+    if value < 1 << 14:
+        return 2
+    if value < 1 << 30:
+        return 4
+    return 8
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode ``value`` using the shortest form (as required for DER-like minimality)."""
+    size = varint_size(value)
+    prefix = {1: 0x00, 2: 0x40, 4: 0x80, 8: 0xC0}[size]
+    encoded = value.to_bytes(size, "big")
+    return bytes([encoded[0] | prefix]) + encoded[1:]
+
+
+def decode_varint(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode one varint, returning ``(value, next_offset)``."""
+    if offset >= len(data):
+        raise VarintError("truncated varint")
+    first = data[offset]
+    size = 1 << (first >> 6)
+    if offset + size > len(data):
+        raise VarintError("truncated varint body")
+    value = first & 0x3F
+    for index in range(1, size):
+        value = (value << 8) | data[offset + index]
+    return value, offset + size

@@ -1,0 +1,49 @@
+"""Measurement toolchain.
+
+One module per tool in the paper's Figure 10 pipeline:
+
+* :mod:`repro.scanners.https_scanner` — steps 1–2: DNS, port checks, redirect
+  following, HTTPS certificate collection (libcurl/zcrypto equivalent),
+* :mod:`repro.scanners.quicreach` — step 3.1: QUIC handshake classification
+  with an Initial-size sweep (microsoft/quicreach equivalent),
+* :mod:`repro.scanners.qscanner` — step 3.2: certificates over QUIC
+  (tumi8/QScanner equivalent),
+* :mod:`repro.scanners.compression_scanner` — step 3.3: RFC 8879 support and
+  rates (quiche-with-compression equivalent),
+* :mod:`repro.scanners.zmap` — step 4.2: single unacknowledged Initial to every
+  host of a prefix (zmap equivalent),
+* :mod:`repro.scanners.backscatter` — step 4.1: telescope backscatter analysis,
+* :mod:`repro.scanners.orchestrator` — step 5: runs the full campaign and
+  merges the per-tool outputs into one results bundle for the analysis layer.
+"""
+
+from .https_scanner import HttpsScanner, HttpsScanResult, CertificateRecord, ScanFunnel
+from .quicreach import QuicReach, HandshakeObservation, InitialSizeSweep, SweepResult
+from .qscanner import QScanner, QuicCertificateRecord, CertificateComparison
+from .compression_scanner import CompressionScanner, CompressionObservation
+from .zmap import ZmapScanner, ZmapProbeResult
+from .backscatter import BackscatterAnalyzer, ProviderBackscatter, simulate_spoofed_campaign
+from .orchestrator import MeasurementCampaign, CampaignResults
+
+__all__ = [
+    "HttpsScanner",
+    "HttpsScanResult",
+    "CertificateRecord",
+    "ScanFunnel",
+    "QuicReach",
+    "HandshakeObservation",
+    "InitialSizeSweep",
+    "SweepResult",
+    "QScanner",
+    "QuicCertificateRecord",
+    "CertificateComparison",
+    "CompressionScanner",
+    "CompressionObservation",
+    "ZmapScanner",
+    "ZmapProbeResult",
+    "BackscatterAnalyzer",
+    "ProviderBackscatter",
+    "simulate_spoofed_campaign",
+    "MeasurementCampaign",
+    "CampaignResults",
+]

@@ -1,0 +1,207 @@
+"""Measurement campaign orchestrator (toolchain step 5: merge and sanitize).
+
+Runs the full pipeline of the paper against a synthetic population:
+
+1. HTTPS certificate collection over the Tranco-like list,
+2. QUIC handshake classification (single Initial size and/or full sweep),
+3. certificates over QUIC and the QUIC-vs-HTTPS comparison,
+4. certificate-compression support scan,
+5. incomplete handshakes: spoofed-source campaign observed by a telescope plus
+   the ZMap-style scan of the Meta point of presence,
+
+and bundles everything into :class:`CampaignResults`, the single input the
+analysis layer (and therefore every figure and table) works from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netsim.address import IPv4Prefix
+from ..netsim.network import UdpNetwork
+from ..netsim.telescope import Telescope
+from ..webpki.deployment import DomainDeployment, ServiceCategory
+from ..webpki.population import (
+    InternetPopulation,
+    PopulationConfig,
+    build_meta_point_of_presence,
+    generate_population,
+)
+from .backscatter import BackscatterAnalyzer, ProviderBackscatter, simulate_spoofed_campaign
+from .compression_scanner import CompressionObservation, CompressionScanner
+from .https_scanner import HttpsScanner, HttpsScanResult
+from .qscanner import CertificateComparison, QScanner, QuicCertificateRecord
+from .quicreach import (
+    DEFAULT_ANALYSIS_INITIAL_SIZE,
+    HandshakeObservation,
+    InitialSizeSweep,
+    QuicReach,
+    SweepResult,
+)
+from .zmap import ZmapProbeResult, ZmapScanner
+
+#: Dark prefix used by the simulated telescope.
+TELESCOPE_PREFIX = IPv4Prefix.parse("198.51.100.0/24")
+
+#: The Meta point-of-presence prefix probed in §4.3.
+META_POP_PREFIX = IPv4Prefix.parse("157.240.20.0/24")
+
+
+@dataclass
+class CampaignResults:
+    """Everything a full measurement campaign produced."""
+
+    population: InternetPopulation
+    https_scan: HttpsScanResult
+    handshakes: List[HandshakeObservation]
+    sweep: Optional[SweepResult]
+    quic_certificates: List[QuicCertificateRecord]
+    certificate_comparison: CertificateComparison
+    compression: List[CompressionObservation]
+    backscatter: Dict[str, ProviderBackscatter]
+    meta_probe_before: List[ZmapProbeResult]
+    meta_probe_after: List[ZmapProbeResult]
+    analysis_initial_size: int = DEFAULT_ANALYSIS_INITIAL_SIZE
+
+    # -- convenience accessors used by the figure modules ----------------------
+
+    def quic_deployments(self) -> List[DomainDeployment]:
+        return self.population.quic_services()
+
+    def https_only_deployments(self) -> List[DomainDeployment]:
+        return self.population.https_only_services()
+
+    def reachable_handshakes(self) -> List[HandshakeObservation]:
+        return [o for o in self.handshakes if o.reachable]
+
+    def provider_of(self, domain: str) -> Optional[str]:
+        deployment = self.population.deployment(domain)
+        return deployment.provider if deployment else None
+
+
+class MeasurementCampaign:
+    """Configures and runs the full measurement pipeline."""
+
+    def __init__(
+        self,
+        population: Optional[InternetPopulation] = None,
+        population_config: Optional[PopulationConfig] = None,
+        run_sweep: bool = False,
+        sweep_sample_size: Optional[int] = 2000,
+        spoofed_targets_per_provider: int = 60,
+    ) -> None:
+        self.population = population or generate_population(population_config)
+        self.run_sweep = run_sweep
+        self.sweep_sample_size = sweep_sample_size
+        self.spoofed_targets_per_provider = spoofed_targets_per_provider
+
+    # -- pipeline ---------------------------------------------------------------
+
+    def run(self) -> CampaignResults:
+        population = self.population
+        resolver = population.build_resolver()
+        origins = population.build_origins()
+        network = population.build_network()
+
+        # 1. HTTPS certificate collection.
+        https_scanner = HttpsScanner(resolver, origins)
+        names = [(d.domain, d.rank) for d in population.deployments]
+        https_scan = https_scanner.scan(names)
+
+        # 2. QUIC handshake classification at the default Initial size.
+        quicreach = QuicReach(network)
+        targets = [
+            (d.domain, d.rank, d.provider)
+            for d in population.deployments
+            if d.category is ServiceCategory.QUIC
+        ]
+        handshakes = quicreach.scan_many(targets, DEFAULT_ANALYSIS_INITIAL_SIZE)
+
+        # 2b. Optional full Initial-size sweep (Figure 3); sampled for speed.
+        sweep: Optional[SweepResult] = None
+        if self.run_sweep:
+            sample = targets
+            if self.sweep_sample_size is not None and len(targets) > self.sweep_sample_size:
+                stride = max(1, len(targets) // self.sweep_sample_size)
+                sample = targets[::stride]
+            sweep = InitialSizeSweep(quicreach).run(sample)
+
+        # 3. Certificates over QUIC and comparison with HTTPS.
+        qscanner = QScanner(network)
+        quic_domains = [domain for domain, _, _ in targets]
+        quic_certificates = qscanner.fetch_many(quic_domains)
+        https_chains = https_scan.chains_by_requested_domain()
+        certificate_comparison = qscanner.compare_with_https(quic_certificates, https_chains)
+
+        # 4. Certificate-compression support.
+        compression_scanner = CompressionScanner(network)
+        compression = compression_scanner.scan_many(quic_domains)
+
+        # 5a. Spoofed handshakes observed at the telescope.
+        telescope = Telescope()
+        network.attach_telescope(TELESCOPE_PREFIX, telescope)
+        spoof_targets = self._pick_spoof_targets(network)
+        simulate_spoofed_campaign(network, spoof_targets, TELESCOPE_PREFIX)
+        analyzer = BackscatterAnalyzer(telescope, self._provider_of_domain)
+        backscatter = analyzer.analyze()
+
+        # 5b. ZMap-style scan of the Meta point of presence, before and after
+        # the responsible disclosure.
+        meta_probe_before = self._probe_meta_pop(patched=False)
+        meta_probe_after = self._probe_meta_pop(patched=True)
+
+        return CampaignResults(
+            population=population,
+            https_scan=https_scan,
+            handshakes=handshakes,
+            sweep=sweep,
+            quic_certificates=quic_certificates,
+            certificate_comparison=certificate_comparison,
+            compression=compression,
+            backscatter=backscatter,
+            meta_probe_before=meta_probe_before,
+            meta_probe_after=meta_probe_after,
+        )
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _provider_of_domain(self, domain: str) -> Optional[str]:
+        deployment = self.population.deployment(domain)
+        if deployment is not None:
+            return deployment.provider
+        if domain in ("facebook.com", "fbcdn.net", "instagram.com", "whatsapp.net",
+                      "messenger.com", "igcdn.com"):
+            return "meta"
+        return None
+
+    def _pick_spoof_targets(self, network: UdpNetwork):
+        """Pick the hypergiant-hosted services an attacker would reflect off."""
+        targets = []
+        per_provider: Dict[str, int] = {}
+        for deployment in self.population.quic_services():
+            provider = deployment.provider or "unknown"
+            if provider not in ("cloudflare", "google", "meta"):
+                continue
+            if per_provider.get(provider, 0) >= self.spoofed_targets_per_provider:
+                continue
+            host = network.host_for_domain(deployment.domain)
+            if host is None:
+                continue
+            per_provider[provider] = per_provider.get(provider, 0) + 1
+            targets.append(host.address)
+        # Always include the Meta PoP hosts so Meta backscatter is observed even
+        # when the sampled population contains few Meta-hosted domains.
+        meta_network = UdpNetwork()
+        for host in build_meta_point_of_presence(patched=False, prefix=META_POP_PREFIX):
+            network.attach_host(host)
+            targets.append(host.address)
+            _ = meta_network  # the hosts live in the main network
+        return targets
+
+    def _probe_meta_pop(self, patched: bool) -> List[ZmapProbeResult]:
+        network = UdpNetwork()
+        for host in build_meta_point_of_presence(patched=patched, prefix=META_POP_PREFIX):
+            network.attach_host(host)
+        scanner = ZmapScanner(network)
+        return scanner.probe_prefix(META_POP_PREFIX)

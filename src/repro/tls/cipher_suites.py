@@ -1,0 +1,32 @@
+"""TLS 1.3 cipher suites (RFC 8446 §B.4)."""
+
+from enum import Enum
+
+
+class CipherSuite(Enum):
+    """The three TLS 1.3 suites; QUIC deployments use the first two almost exclusively."""
+
+    TLS_AES_128_GCM_SHA256 = (0x1301, 16, 32)
+    TLS_AES_256_GCM_SHA384 = (0x1302, 32, 48)
+    TLS_CHACHA20_POLY1305_SHA256 = (0x1303, 32, 32)
+
+    def __init__(self, code: int, key_length: int, hash_length: int) -> None:
+        self.code = code
+        self.key_length = key_length
+        self.hash_length = hash_length
+
+    def encode(self) -> bytes:
+        return self.code.to_bytes(2, "big")
+
+    @property
+    def finished_size(self) -> int:
+        """Size of the Finished verify_data for this suite's hash."""
+        return self.hash_length
+
+    @classmethod
+    def default_client_offer(cls) -> tuple["CipherSuite", ...]:
+        return (
+            cls.TLS_AES_128_GCM_SHA256,
+            cls.TLS_AES_256_GCM_SHA384,
+            cls.TLS_CHACHA20_POLY1305_SHA256,
+        )

@@ -1,0 +1,39 @@
+"""Synthetic Web/PKI population.
+
+This package generates the "Internet" the scanners measure: a ranked domain
+list (Tranco equivalent), hosting providers with their QUIC behaviour, the CA
+chains they deploy, and the per-domain deployments (DNS outcome, HTTPS and
+QUIC support, certificate chain, load-balancer encapsulation).
+
+All knobs are calibrated to the distributions reported in the paper so the
+reproduced figures have the same shape; see DESIGN.md §2 and §5 for the
+calibration targets and the substitution rationale.
+"""
+
+from .tranco import TrancoList, generate_tranco_list
+from .providers import (
+    HostingProvider,
+    DeploymentArchetype,
+    PROVIDERS,
+    QUIC_ARCHETYPES,
+    HTTPS_ONLY_ARCHETYPES,
+    sample_san_count,
+)
+from .deployment import DomainDeployment, ServiceCategory
+from .population import InternetPopulation, PopulationConfig, generate_population
+
+__all__ = [
+    "TrancoList",
+    "generate_tranco_list",
+    "HostingProvider",
+    "DeploymentArchetype",
+    "PROVIDERS",
+    "QUIC_ARCHETYPES",
+    "HTTPS_ONLY_ARCHETYPES",
+    "sample_san_count",
+    "DomainDeployment",
+    "ServiceCategory",
+    "InternetPopulation",
+    "PopulationConfig",
+    "generate_population",
+]

@@ -1,0 +1,436 @@
+"""Generation of the synthetic Internet population.
+
+``generate_population`` turns a ranked domain list into per-domain
+deployments whose aggregate statistics match the paper's measurements (see
+DESIGN.md §5 for the calibration targets), and can materialise the simulated
+network (DNS zone, HTTP origins, QUIC hosts, telescope) the scanners run
+against.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..netsim.address import IPv4Address, IPv4Prefix
+from ..netsim.dns import DnsRcode, SimulatedResolver
+from ..netsim.http import HttpOrigin, RedirectKind
+from ..netsim.network import QuicServiceHost, UdpNetwork
+from ..quic.profiles import (
+    MVFST_LIKE,
+    MVFST_PATCHED,
+    RFC_COMPLIANT_NO_COMPRESSION,
+    ServerBehaviorProfile,
+)
+from ..x509.ca import CAProfile, default_hierarchy
+from ..x509.chain import CertificateChain
+from ..x509.keys import KeyAlgorithm
+from .deployment import DomainDeployment, ServiceCategory
+from .providers import (
+    HTTPS_ONLY_ARCHETYPES,
+    PROVIDERS,
+    QUIC_ARCHETYPES,
+    DeploymentArchetype,
+    choose_https_only_archetype,
+    choose_quic_archetype,
+    sample_san_count,
+)
+from .tranco import TrancoList, generate_tranco_list
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Knobs of the synthetic population.
+
+    The default ``size`` keeps full experiment runs in the seconds range;
+    every share-based result is scale-free, so raising the size towards the
+    paper's 1M only sharpens the tails.
+    """
+
+    size: int = 20_000
+    seed: int = 2022
+    # DNS funnel (§3.1): fractions of all names.
+    servfail_fraction: float = 0.013
+    nxdomain_fraction: float = 0.009
+    timeout_fraction: float = 0.010
+    refused_fraction: float = 0.002
+    no_a_record_fraction: float = 0.110
+    # Service mix among resolved names with an A record (Appendix D).
+    quic_fraction_of_resolved: float = 0.242
+    https_only_fraction_of_resolved: float = 0.681
+    # Deployment details.
+    redirect_fraction: float = 0.15
+    different_quic_cert_fraction: float = 0.033
+    top_rank_one_rtt_boost: float = 0.02
+    #: Share of generic QUIC deployments built on a TLS library without
+    #: RFC 8879 support (brings overall brotli support to ≈96 %, Table 1).
+    no_compression_fraction: float = 0.04
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("population size must be positive")
+        failure_total = (
+            self.servfail_fraction
+            + self.nxdomain_fraction
+            + self.timeout_fraction
+            + self.refused_fraction
+            + self.no_a_record_fraction
+        )
+        if failure_total >= 1.0:
+            raise ValueError("DNS failure fractions must sum to less than 1")
+        if self.quic_fraction_of_resolved + self.https_only_fraction_of_resolved > 1.0:
+            raise ValueError("service fractions of resolved names must sum to at most 1")
+
+
+@dataclass
+class InternetPopulation:
+    """The generated population plus lookup helpers."""
+
+    config: PopulationConfig
+    tranco: TrancoList
+    deployments: List[DomainDeployment]
+    _by_domain: Dict[str, DomainDeployment] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self._by_domain:
+            self._by_domain = {d.domain: d for d in self.deployments}
+
+    # -- lookups ---------------------------------------------------------------
+
+    def deployment(self, domain: str) -> Optional[DomainDeployment]:
+        return self._by_domain.get(domain.lower())
+
+    def __len__(self) -> int:
+        return len(self.deployments)
+
+    def by_category(self, category: ServiceCategory) -> List[DomainDeployment]:
+        return [d for d in self.deployments if d.category is category]
+
+    def quic_services(self) -> List[DomainDeployment]:
+        return self.by_category(ServiceCategory.QUIC)
+
+    def https_only_services(self) -> List[DomainDeployment]:
+        return self.by_category(ServiceCategory.HTTPS_ONLY)
+
+    def category_counts(self) -> Dict[ServiceCategory, int]:
+        counts: Dict[ServiceCategory, int] = {category: 0 for category in ServiceCategory}
+        for deployment in self.deployments:
+            counts[deployment.category] += 1
+        return counts
+
+    # -- materialising the simulated network -----------------------------------
+
+    def build_resolver(self) -> SimulatedResolver:
+        resolver = SimulatedResolver()
+        for deployment in self.deployments:
+            if deployment.dns_rcode is not DnsRcode.NOERROR:
+                resolver.add_failure(deployment.domain, deployment.dns_rcode)
+            elif deployment.address is None:
+                resolver.add_no_address(deployment.domain)
+            else:
+                resolver.add_record(deployment.domain, deployment.address)
+                # Redirect targets (www.<domain>) resolve to the same address.
+                if deployment.redirect_to:
+                    resolver.add_record(deployment.redirect_to, deployment.address)
+        return resolver
+
+    def build_origins(self) -> Dict[str, HttpOrigin]:
+        origins: Dict[str, HttpOrigin] = {}
+        for deployment in self.deployments:
+            if not deployment.resolves:
+                continue
+            chain = deployment.https_chain
+            redirect_kind = RedirectKind.NONE
+            redirect_target = None
+            if deployment.redirect_to and chain is not None:
+                redirect_kind = RedirectKind.HTTP_301
+                redirect_target = f"https://{deployment.redirect_to}/"
+                origins[deployment.redirect_to] = HttpOrigin(
+                    domain=deployment.redirect_to, https_chain=chain
+                )
+            origins[deployment.domain] = HttpOrigin(
+                domain=deployment.domain,
+                https_chain=chain,
+                redirect_kind=redirect_kind,
+                redirect_target=redirect_target,
+            )
+        return origins
+
+    def build_network(self) -> UdpNetwork:
+        network = UdpNetwork()
+        for deployment in self.deployments:
+            if not deployment.supports_quic or deployment.address is None:
+                continue
+            network.attach_host(
+                QuicServiceHost(
+                    address=deployment.address,
+                    domain=deployment.domain,
+                    chain=deployment.quic_chain,
+                    profile=deployment.server_behavior,
+                    encapsulation_overhead=deployment.encapsulation_overhead,
+                )
+            )
+        return network
+
+
+# ---------------------------------------------------------------------------
+# Generation
+# ---------------------------------------------------------------------------
+
+def _dns_outcome(rng: random.Random, config: PopulationConfig) -> Tuple[DnsRcode, bool]:
+    """Return (rcode, has_a_record)."""
+    roll = rng.random()
+    threshold = config.servfail_fraction
+    if roll < threshold:
+        return DnsRcode.SERVFAIL, False
+    threshold += config.nxdomain_fraction
+    if roll < threshold:
+        return DnsRcode.NXDOMAIN, False
+    threshold += config.timeout_fraction
+    if roll < threshold:
+        return DnsRcode.TIMEOUT, False
+    threshold += config.refused_fraction
+    if roll < threshold:
+        return DnsRcode.REFUSED, False
+    threshold += config.no_a_record_fraction
+    if roll < threshold:
+        return DnsRcode.NOERROR, False
+    return DnsRcode.NOERROR, True
+
+
+def _san_names(rng: random.Random, domain: str, count: int) -> List[str]:
+    names = [domain, f"www.{domain}"]
+    prefixes = ("api", "cdn", "mail", "img", "static", "shop", "m", "blog", "dev",
+                "stage", "app", "edge", "media", "assets", "video", "login", "docs")
+    index = 0
+    while len(names) < count:
+        prefix = prefixes[index % len(prefixes)]
+        suffix = "" if index < len(prefixes) else str(index // len(prefixes))
+        names.append(f"{prefix}{suffix}.{domain}")
+        index += 1
+    return names[:max(count, 1)]
+
+
+def _issue_chain(
+    rng: random.Random,
+    domain: str,
+    archetype: DeploymentArchetype,
+    ca_profile: CAProfile,
+    serial_suffix: str = "",
+) -> CertificateChain:
+    san_count = sample_san_count(rng, archetype)
+    san_names = _san_names(rng, domain if not serial_suffix else f"{serial_suffix}.{domain}", san_count)
+    san_names[0] = domain
+    chain = ca_profile.issue(
+        domain,
+        san_names=san_names,
+        key_algorithm=archetype.leaf_key_algorithm,
+        validity_days=rng.choice((90, 90, 90, 365, 397)),
+    )
+    if rng.random() < archetype.bloated_chain_probability:
+        chain = _bloat_chain(rng, chain)
+    return chain
+
+
+def _bloat_chain(rng: random.Random, chain: CertificateChain) -> CertificateChain:
+    """Produce the rare, huge chains (18–38 kB) seen in the Figure 6 tail.
+
+    Real-world examples are misconfigured servers that ship every certificate
+    they have: duplicated intermediates, roots, and sometimes whole unrelated
+    chains.  We replicate the duplicated intermediates and roots.
+    """
+    hierarchy = default_hierarchy()
+    extra: List = []
+    pool = list(hierarchy.intermediates.values()) + list(hierarchy.roots.values())
+    copies = rng.randint(12, 26)
+    for _ in range(copies):
+        extra.append(rng.choice(pool).certificate)
+    return CertificateChain(chain.certificates + tuple(extra))
+
+
+def generate_population(config: Optional[PopulationConfig] = None) -> InternetPopulation:
+    """Generate the full synthetic population deterministically."""
+    config = config or PopulationConfig()
+    rng = random.Random(f"population:{config.seed}")
+    tranco = generate_tranco_list(config.size, seed=config.seed)
+    hierarchy = default_hierarchy()
+
+    deployments: List[DomainDeployment] = []
+    provider_host_counters: Dict[str, int] = {}
+
+    # Rank thresholds scale with the population so a 20k population behaves
+    # like a proportionally scaled-down Tranco 1M list: the paper's "top 1k",
+    # "top 10k" and "top 100k" effects apply to the same *fractions* here.
+    top_1k_equivalent = max(1, config.size // 1000)
+    top_10k_equivalent = max(1, config.size // 100)
+    top_100k_equivalent = max(1, config.size // 10)
+
+    for rank, domain in enumerate(tranco, start=1):
+        rcode, has_a = _dns_outcome(rng, config)
+        if not has_a:
+            deployments.append(
+                DomainDeployment(
+                    domain=domain, rank=rank, category=ServiceCategory.UNRESOLVED, dns_rcode=rcode
+                )
+            )
+            continue
+
+        roll = rng.random()
+        if roll < config.quic_fraction_of_resolved:
+            category = ServiceCategory.QUIC
+        elif roll < config.quic_fraction_of_resolved + config.https_only_fraction_of_resolved:
+            category = ServiceCategory.HTTPS_ONLY
+        else:
+            category = ServiceCategory.INSECURE
+
+        if category is ServiceCategory.INSECURE:
+            address = _allocate_address(provider_host_counters, "https-only-hosting", rank)
+            deployments.append(
+                DomainDeployment(
+                    domain=domain,
+                    rank=rank,
+                    category=category,
+                    dns_rcode=DnsRcode.NOERROR,
+                    address=address,
+                    provider="https-only-hosting",
+                )
+            )
+            continue
+
+        if category is ServiceCategory.QUIC:
+            archetype = choose_quic_archetype(rng)
+            # The paper observes slightly more 1-RTT deployments among the most
+            # popular names (Figure 13); model it as a small boost of
+            # short-chain deployments in the top rank group.
+            if rank <= top_100k_equivalent and rng.random() < config.top_rank_one_rtt_boost:
+                archetype = next(a for a in QUIC_ARCHETYPES if a.name == "lets-encrypt-e1-short")
+        else:
+            archetype = choose_https_only_archetype(rng)
+
+        provider = PROVIDERS[archetype.provider]
+        ca_profile_label = archetype.ca_profile
+        if archetype.ca_profile_pool:
+            ca_profile_label = rng.choice(archetype.ca_profile_pool)
+        ca_profile = hierarchy.profiles[ca_profile_label]
+        https_chain = _issue_chain(rng, domain, archetype, ca_profile)
+
+        quic_chain = None
+        behavior: Optional[ServerBehaviorProfile] = None
+        encapsulation_overhead = 0
+        if category is ServiceCategory.QUIC:
+            if rng.random() < config.different_quic_cert_fraction:
+                quic_chain = _issue_chain(rng, domain, archetype, ca_profile, serial_suffix="rotated")
+            else:
+                quic_chain = https_chain
+            behavior = provider.behavior
+            if (
+                behavior.name == "rfc-compliant"
+                and rng.random() < config.no_compression_fraction
+            ):
+                behavior = RFC_COMPLIANT_NO_COMPRESSION
+            tunnel_probability = archetype.tunnel_probability
+            if rank <= top_1k_equivalent:
+                tunnel_probability = max(tunnel_probability, 0.25)
+            elif rank <= top_10k_equivalent:
+                tunnel_probability = max(tunnel_probability, 0.12)
+            if rng.random() < tunnel_probability:
+                encapsulation_overhead = rng.choice((28, 36, 48, 60))
+
+        address = _allocate_address(provider_host_counters, provider.name, rank)
+        redirect_to = None
+        if rng.random() < config.redirect_fraction:
+            redirect_to = f"www.{domain}"
+
+        deployments.append(
+            DomainDeployment(
+                domain=domain,
+                rank=rank,
+                category=category,
+                dns_rcode=DnsRcode.NOERROR,
+                address=address,
+                https_chain=https_chain,
+                quic_chain=quic_chain,
+                server_behavior=behavior,
+                provider=provider.name,
+                archetype=archetype.name,
+                ca_profile=ca_profile_label,
+                encapsulation_overhead=encapsulation_overhead,
+                redirect_to=redirect_to,
+            )
+        )
+
+    return InternetPopulation(config=config, tranco=tranco, deployments=deployments)
+
+
+def _allocate_address(counters: Dict[str, int], provider_name: str, rank: int) -> IPv4Address:
+    provider = PROVIDERS[provider_name]
+    index = counters.get(provider_name, 0)
+    counters[provider_name] = index + 1
+    prefix = provider.prefix_for(index // 200)
+    offset = index % min(prefix.num_addresses, 65_536)
+    return prefix.address_at(offset)
+
+
+# ---------------------------------------------------------------------------
+# The Meta point of presence (§4.3, Figure 11)
+# ---------------------------------------------------------------------------
+
+#: Host octets present in the Meta /24 in the paper's Figure 11.
+META_POP_HOST_OCTETS: Tuple[int, ...] = tuple(range(1, 44)) + tuple(range(49, 61)) + (63,) + tuple(
+    range(128, 133)
+) + tuple(range(158, 165)) + (167, 168, 169, 172, 174, 182, 183)
+
+#: Octets that serve Instagram/WhatsApp — the high-amplification group (3).
+META_HIGH_AMPLIFICATION_OCTETS = frozenset(range(49, 61)) | {63} | set(range(158, 165))
+
+#: Octets with no QUIC/HTTP3 service at all — group (1) in the paper.
+META_NO_SERVICE_OCTETS = frozenset({40, 41, 42, 43, 128, 129, 130, 131, 132})
+
+
+def meta_domain_for_octet(octet: int) -> str:
+    if octet in META_HIGH_AMPLIFICATION_OCTETS:
+        return "instagram.com" if octet % 2 == 0 else "whatsapp.net"
+    return "facebook.com" if octet % 3 else "fbcdn.net"
+
+
+def build_meta_point_of_presence(
+    patched: bool = False,
+    prefix: IPv4Prefix = IPv4Prefix.parse("157.240.20.0/24"),
+) -> List[QuicServiceHost]:
+    """Build the Meta /24 point of presence scanned in §4.3.
+
+    Before the disclosure (``patched=False``) the Instagram/WhatsApp hosts
+    retransmit their whole flight several times (amplification ≈28×) while the
+    facebook.com hosts send it once (≈5×).  After the disclosure all hosts
+    behave homogeneously with a single flight (mean ≈5×).
+    """
+    hierarchy = default_hierarchy()
+    meta_profile = hierarchy.profiles["DigiCert SHA2 + root (Meta)"]
+    hosts: List[QuicServiceHost] = []
+    rng = random.Random("meta-pop")
+    for octet in META_POP_HOST_OCTETS:
+        if octet in META_NO_SERVICE_OCTETS:
+            continue
+        domain = meta_domain_for_octet(octet)
+        san_count = rng.randint(45, 90)
+        chain = meta_profile.issue(
+            domain,
+            san_names=_san_names(rng, domain, san_count),
+            key_algorithm=KeyAlgorithm.ECDSA_P256,
+        )
+        if patched:
+            profile = MVFST_PATCHED
+        elif octet in META_HIGH_AMPLIFICATION_OCTETS:
+            profile = MVFST_LIKE
+        else:
+            profile = MVFST_PATCHED  # single flight, still above the limit
+        hosts.append(
+            QuicServiceHost(
+                address=prefix.address_at(octet),
+                domain=domain,
+                chain=chain,
+                profile=profile,
+            )
+        )
+    return hosts

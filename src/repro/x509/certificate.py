@@ -1,0 +1,157 @@
+"""X.509 v3 certificate construction (RFC 5280 §4.1)."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta, timezone
+from typing import Optional, Sequence, Tuple
+
+from ..asn1 import (
+    OID,
+    encode_bit_string,
+    encode_explicit,
+    encode_integer,
+    encode_sequence,
+    encode_utc_time,
+)
+from .extensions import Extension, encode_extensions
+from .keys import KeyAlgorithm, PublicKey, SignatureAlgorithm
+from .name import DistinguishedName
+
+
+@dataclass(frozen=True)
+class Validity:
+    """Certificate validity window."""
+
+    not_before: datetime
+    not_after: datetime
+
+    @classmethod
+    def for_days(cls, days: int, start: Optional[datetime] = None) -> "Validity":
+        start = start or datetime(2022, 9, 1, tzinfo=timezone.utc)
+        return cls(start, start + timedelta(days=days))
+
+    def encode(self) -> bytes:
+        return encode_sequence(encode_utc_time(self.not_before), encode_utc_time(self.not_after))
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """An encoded certificate plus the structured description it came from.
+
+    Keeping the description next to the DER bytes lets the analysis layer ask
+    both "how many bytes" and "which field contributed them" without
+    re-parsing.
+    """
+
+    subject: DistinguishedName
+    issuer: DistinguishedName
+    public_key: PublicKey
+    signature_algorithm: SignatureAlgorithm
+    serial_number: int
+    validity: Validity
+    extensions: Tuple[Extension, ...]
+    is_ca: bool
+    der: bytes
+    tbs_der: bytes
+    signature_value: bytes
+
+    @property
+    def size(self) -> int:
+        """Total DER-encoded size in bytes."""
+        return len(self.der)
+
+    @property
+    def subject_common_name(self) -> Optional[str]:
+        return self.subject.common_name
+
+    @property
+    def issuer_common_name(self) -> Optional[str]:
+        return self.issuer.common_name
+
+    @property
+    def is_self_signed(self) -> bool:
+        return self.subject.encode() == self.issuer.encode()
+
+    @property
+    def key_algorithm(self) -> KeyAlgorithm:
+        return self.public_key.algorithm
+
+    def fingerprint(self) -> str:
+        """SHA-256 fingerprint of the DER encoding (hex)."""
+        return hashlib.sha256(self.der).hexdigest()
+
+    def extension(self, dotted_oid: str) -> Optional[Extension]:
+        for ext in self.extensions:
+            if ext.oid.dotted == dotted_oid:
+                return ext
+        return None
+
+    @property
+    def san_extension(self) -> Optional[Extension]:
+        return self.extension(OID.SUBJECT_ALT_NAME.dotted)
+
+    @property
+    def san_names(self) -> Tuple[str, ...]:
+        return getattr(self, "_san_names", ())
+
+
+@dataclass
+class CertificateBuilder:
+    """Builds and "signs" certificates.
+
+    The builder produces real DER for every field.  The signature value is a
+    modelled signature whose size matches the signing key's algorithm (see
+    :mod:`repro.x509.keys`).
+    """
+
+    subject: DistinguishedName
+    issuer: DistinguishedName
+    public_key: PublicKey
+    issuer_key: PublicKey
+    validity: Validity
+    serial_number: int
+    extensions: Sequence[Extension] = field(default_factory=tuple)
+    is_ca: bool = False
+    san_names: Tuple[str, ...] = ()
+    signature_algorithm: Optional[SignatureAlgorithm] = None
+
+    def build(self) -> Certificate:
+        signature_algorithm = self.signature_algorithm or SignatureAlgorithm.for_signer(self.issuer_key)
+        algorithm_der = signature_algorithm.encode_algorithm_identifier()
+
+        tbs = encode_sequence(
+            encode_explicit(0, encode_integer(2)),  # version v3
+            encode_integer(self.serial_number),
+            algorithm_der,
+            self.issuer.encode(),
+            self.validity.encode(),
+            self.subject.encode(),
+            self.public_key.spki_der(),
+            encode_extensions(tuple(self.extensions)),
+        )
+        signature = self.issuer_key.sign(tbs, signature_algorithm)
+        der = encode_sequence(tbs, algorithm_der, encode_bit_string(signature))
+        certificate = Certificate(
+            subject=self.subject,
+            issuer=self.issuer,
+            public_key=self.public_key,
+            signature_algorithm=signature_algorithm,
+            serial_number=self.serial_number,
+            validity=self.validity,
+            extensions=tuple(self.extensions),
+            is_ca=self.is_ca,
+            der=der,
+            tbs_der=tbs,
+            signature_value=signature,
+        )
+        object.__setattr__(certificate, "_san_names", tuple(self.san_names))
+        return certificate
+
+
+def serial_from_seed(seed: str, bits: int = 128) -> int:
+    """Derive a deterministic positive serial number from a seed string."""
+    digest = hashlib.sha256(seed.encode()).digest()
+    value = int.from_bytes(digest[: bits // 8], "big")
+    return value | (1 << (bits - 2))  # keep it large but positive

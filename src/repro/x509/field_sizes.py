@@ -1,0 +1,98 @@
+"""Per-field size accounting for certificates (paper Figures 2b and 8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from ..asn1 import OID
+from .certificate import Certificate
+
+
+@dataclass(frozen=True)
+class CertificateFieldSizes:
+    """Encoded sizes (bytes) of the certificate fields the paper reports."""
+
+    subject: int
+    issuer: int
+    public_key_info: int
+    extensions: int
+    signature: int
+    other: int
+    total: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "Subject": self.subject,
+            "Issuer": self.issuer,
+            "PublicKeyInfo": self.public_key_info,
+            "Extensions": self.extensions,
+            "Signature": self.signature,
+            "Other": self.other,
+            "Total": self.total,
+        }
+
+    @property
+    def san_share(self) -> float:
+        """Placeholder kept for API symmetry; SAN share is computed separately."""
+        return 0.0
+
+
+def measure_field_sizes(certificate: Certificate) -> CertificateFieldSizes:
+    """Measure the encoded sizes of a certificate's main fields.
+
+    The sizes are taken from the actual DER encodings of each component, so
+    they sum (together with framing overhead counted as *other*) to the full
+    certificate size.
+    """
+    subject = certificate.subject.encoded_size()
+    issuer = certificate.issuer.encoded_size()
+    spki = len(certificate.public_key.spki_der())
+    extensions = sum(ext.encoded_size() for ext in certificate.extensions)
+    # The signature appears once as the signatureValue BIT STRING; the
+    # signatureAlgorithm appears twice (in and outside the TBS) but is small
+    # and lands in "other" along with serial, version, validity and framing.
+    signature = len(certificate.signature_value)
+    accounted = subject + issuer + spki + extensions + signature
+    other = max(certificate.size - accounted, 0)
+    return CertificateFieldSizes(
+        subject=subject,
+        issuer=issuer,
+        public_key_info=spki,
+        extensions=extensions,
+        signature=signature,
+        other=other,
+        total=certificate.size,
+    )
+
+
+def san_byte_share(certificate: Certificate) -> float:
+    """Fraction of the certificate's bytes used by the subjectAltName extension.
+
+    Used by the cruise-liner analysis (paper Figure 14 / Appendix E).
+    """
+    san = certificate.extension(OID.SUBJECT_ALT_NAME.dotted)
+    if san is None or certificate.size == 0:
+        return 0.0
+    return san.encoded_size() / certificate.size
+
+
+def mean_field_sizes(certificates: Iterable[Certificate]) -> CertificateFieldSizes:
+    """Mean per-field sizes over a set of certificates (paper Figure 8 bars)."""
+    measurements: List[CertificateFieldSizes] = [measure_field_sizes(c) for c in certificates]
+    if not measurements:
+        return CertificateFieldSizes(0, 0, 0, 0, 0, 0, 0)
+    count = len(measurements)
+
+    def avg(getter) -> int:
+        return int(round(sum(getter(m) for m in measurements) / count))
+
+    return CertificateFieldSizes(
+        subject=avg(lambda m: m.subject),
+        issuer=avg(lambda m: m.issuer),
+        public_key_info=avg(lambda m: m.public_key_info),
+        extensions=avg(lambda m: m.extensions),
+        signature=avg(lambda m: m.signature),
+        other=avg(lambda m: m.other),
+        total=avg(lambda m: m.total),
+    )

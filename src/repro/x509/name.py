@@ -1,0 +1,101 @@
+"""X.501 distinguished names (issuer / subject fields of a certificate)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..asn1 import (
+    OID,
+    ObjectIdentifier,
+    encode_printable_string,
+    encode_sequence,
+    encode_set,
+    encode_tlv,
+    encode_utf8_string,
+)
+from ..asn1.tags import Tag
+
+
+@dataclass(frozen=True)
+class RelativeName:
+    """One AttributeTypeAndValue, e.g. ``CN=example.org``."""
+
+    attribute: ObjectIdentifier
+    value: str
+
+    def encode(self) -> bytes:
+        # countryName must be PrintableString per RFC 5280; everything else we
+        # emit as UTF8String, which is what modern CAs do.
+        if self.attribute.dotted == OID.COUNTRY.dotted:
+            value = encode_printable_string(self.value)
+        else:
+            value = encode_utf8_string(self.value)
+        return encode_set(encode_sequence(self.attribute.encode(), value))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        short = {
+            OID.COMMON_NAME.dotted: "CN",
+            OID.COUNTRY.dotted: "C",
+            OID.ORGANIZATION.dotted: "O",
+            OID.ORG_UNIT.dotted: "OU",
+            OID.LOCALITY.dotted: "L",
+            OID.STATE.dotted: "ST",
+        }.get(self.attribute.dotted, self.attribute.name or self.attribute.dotted)
+        return f"{short}={self.value}"
+
+
+@dataclass(frozen=True)
+class DistinguishedName:
+    """An ordered RDNSequence."""
+
+    rdns: Tuple[RelativeName, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def build(
+        cls,
+        common_name: Optional[str] = None,
+        organization: Optional[str] = None,
+        country: Optional[str] = None,
+        org_unit: Optional[str] = None,
+        locality: Optional[str] = None,
+        state: Optional[str] = None,
+    ) -> "DistinguishedName":
+        """Build a DN in the conventional C, ST, L, O, OU, CN order."""
+        rdns: List[RelativeName] = []
+        if country:
+            rdns.append(RelativeName(OID.COUNTRY, country))
+        if state:
+            rdns.append(RelativeName(OID.STATE, state))
+        if locality:
+            rdns.append(RelativeName(OID.LOCALITY, locality))
+        if organization:
+            rdns.append(RelativeName(OID.ORGANIZATION, organization))
+        if org_unit:
+            rdns.append(RelativeName(OID.ORG_UNIT, org_unit))
+        if common_name:
+            rdns.append(RelativeName(OID.COMMON_NAME, common_name))
+        return cls(tuple(rdns))
+
+    def encode(self) -> bytes:
+        return encode_tlv(Tag.SEQUENCE, b"".join(rdn.encode() for rdn in self.rdns))
+
+    @property
+    def common_name(self) -> Optional[str]:
+        for rdn in self.rdns:
+            if rdn.attribute.dotted == OID.COMMON_NAME.dotted:
+                return rdn.value
+        return None
+
+    @property
+    def organization(self) -> Optional[str]:
+        for rdn in self.rdns:
+            if rdn.attribute.dotted == OID.ORGANIZATION.dotted:
+                return rdn.value
+        return None
+
+    def encoded_size(self) -> int:
+        return len(self.encode())
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return ", ".join(str(rdn) for rdn in self.rdns)

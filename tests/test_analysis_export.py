@@ -1,0 +1,55 @@
+"""Tests for the evaluation export (text report + per-figure CSV files)."""
+
+import csv
+import os
+
+import pytest
+
+from repro.analysis.export import export_evaluation
+from repro.analysis.report import build_report
+
+
+@pytest.fixture(scope="module")
+def exported(campaign_results, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("evaluation-export")
+    report = build_report(campaign_results)
+    return export_evaluation(campaign_results, str(directory), report)
+
+
+class TestExport:
+    def test_report_file_written(self, exported):
+        assert os.path.exists(exported.report_path)
+        with open(exported.report_path, encoding="utf-8") as handle:
+            content = handle.read()
+        assert "figure06" in content and "Table 2" in content
+
+    def test_every_major_figure_has_a_csv(self, exported):
+        for name in (
+            "figure03", "figure04", "figure05", "figure06_quic", "figure06_https_only",
+            "figure07a", "figure07b", "figure08", "figure09_meta", "figure11",
+            "figure12", "figure13", "figure14", "meta_prefix", "compression",
+            "table01", "table02", "table03", "funnel",
+        ):
+            assert name in exported.csv_paths, name
+            assert os.path.exists(exported.csv_paths[name])
+        assert exported.file_count == len(exported.csv_paths) + 1
+
+    def test_csv_files_parse_and_have_rows(self, exported):
+        for name, path in exported.csv_paths.items():
+            with open(path, newline="", encoding="utf-8") as handle:
+                rows = list(csv.reader(handle))
+            assert len(rows) >= 2, f"{name} has no data rows"
+            header, first_row = rows[0], rows[1]
+            assert len(header) == len(first_row)
+
+    def test_figure06_cdf_is_monotone_in_csv(self, exported):
+        with open(exported.csv_paths["figure06_quic"], newline="", encoding="utf-8") as handle:
+            rows = list(csv.DictReader(handle))
+        probabilities = [float(row["cumulative_probability"]) for row in rows]
+        assert probabilities == sorted(probabilities)
+        assert probabilities[-1] == pytest.approx(1.0)
+
+    def test_export_is_idempotent(self, campaign_results, tmp_path):
+        first = export_evaluation(campaign_results, str(tmp_path))
+        second = export_evaluation(campaign_results, str(tmp_path))
+        assert first.csv_paths.keys() == second.csv_paths.keys()

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.size == 3000 and args.seed == 2022 and not args.sweep
+
+    def test_predict_arguments(self):
+        args = build_parser().parse_args(
+            ["predict", "--chain", "Cloudflare ECC CA-3", "--initial-size", "1250"]
+        )
+        assert args.chain == "Cloudflare ECC CA-3"
+        assert args.initial_size == 1250
+
+
+class TestCommands:
+    def test_profiles_lists_chains_and_behaviours(self, capsys):
+        assert main(["profiles"]) == 0
+        output = capsys.readouterr().out
+        assert "Cloudflare ECC CA-3" in output
+        assert "cloudflare-like" in output
+        assert "mvfst-like" in output
+
+    def test_predict_known_chain(self, capsys):
+        assert main(["predict", "--chain", "Let's Encrypt E1 (short)"]) == 0
+        output = capsys.readouterr().out
+        assert "predicted class:     1-RTT" in output
+
+    def test_predict_large_chain_with_and_without_compression(self, capsys):
+        assert main(["predict", "--chain", "Amazon RSA 2048 M02 (long)"]) == 0
+        plain = capsys.readouterr().out
+        assert "Multi-RTT" in plain
+        assert main(["predict", "--chain", "Amazon RSA 2048 M02 (long)", "--compression", "brotli"]) == 0
+        compressed = capsys.readouterr().out
+        assert "1-RTT" in compressed
+
+    def test_predict_unknown_chain_fails(self, capsys):
+        assert main(["predict", "--chain", "No Such CA"]) == 2
+        assert "unknown chain profile" in capsys.readouterr().err
+
+    def test_campaign_writes_report(self, tmp_path, capsys):
+        output_file = tmp_path / "report.txt"
+        export_dir = tmp_path / "export"
+        assert main(
+            ["campaign", "--size", "300", "--output", str(output_file), "--export-dir", str(export_dir)]
+        ) == 0
+        assert output_file.exists()
+        content = output_file.read_text()
+        assert "figure06" in content
+        assert "Table 2" in content
+        assert (export_dir / "evaluation.txt").exists()
+        assert (export_dir / "figure06_quic.csv").exists()

@@ -1,0 +1,99 @@
+"""Tests for the amplification figures (9, 11, Meta groups) and tables (1, 3), funnel, compression."""
+
+import pytest
+
+from repro.analysis.figures import (
+    compression,
+    figure09,
+    figure11,
+    funnel,
+    meta_prefix,
+    table01,
+    table03,
+)
+from repro.tls.cert_compression import CertificateCompressionAlgorithm
+
+
+class TestFigure09:
+    def test_meta_amplifies_most(self, campaign_results):
+        result = figure09.compute(campaign_results.backscatter)
+        assert {"cloudflare", "google", "meta"} <= set(result.providers())
+        assert result.maximum("meta") > 15
+        assert result.maximum("meta") > result.maximum("cloudflare")
+        assert result.maximum("cloudflare") < 12
+        assert result.maximum("google") < 12
+        for provider in ("cloudflare", "google", "meta"):
+            assert result.share_exceeding(provider, 3.0) > 0.5
+        assert "Figure 9" in result.render_text()
+
+
+class TestMetaPrefix:
+    def test_three_groups_with_expected_factors(self, campaign_results):
+        result = meta_prefix.compute(campaign_results.meta_probe_before)
+        assert result.probed_addresses == 256
+        assert result.count(1) > 100
+        assert result.count(2) > 10
+        assert result.count(3) > 5
+        assert 3.5 <= result.mean_amplification(2) <= 8      # paper: >5x
+        assert result.mean_amplification(3) > 20             # paper: >28x
+        assert "group 3" in result.render_text()
+
+
+class TestFigure11:
+    def test_disclosure_reduces_amplification(self, campaign_results):
+        result = figure11.compute(
+            campaign_results.meta_probe_before, campaign_results.meta_probe_after
+        )
+        assert result.before.max_amplification > 20
+        assert result.after.max_amplification < 8
+        assert result.improvement_factor > 3
+        # After the fix the responses are homogeneous but still above the limit.
+        assert result.after.share_above(3.0) > 0.9
+        assert result.after.mean_amplification == pytest.approx(5.0, abs=1.5)
+        assert len(result.before.per_octet) == len(result.after.per_octet)
+        assert "Figure 11" in result.render_text()
+
+
+class TestTable01:
+    def test_browser_rows_and_support(self, campaign_results):
+        result = table01.compute(campaign_results.compression)
+        assert result.scanned_services == len(campaign_results.compression)
+        brotli = CertificateCompressionAlgorithm.BROTLI
+        assert result.support_shares[brotli] == pytest.approx(0.96, abs=0.05)
+        assert result.mean_rates[brotli] == pytest.approx(0.73, abs=0.10)
+        assert result.all_three_share < 0.02                       # paper: 0.05 %
+        text = result.render_text()
+        assert "Firefox" in text and "1357" in text and "no QUIC" in text
+
+
+class TestTable03:
+    def test_history_rows(self):
+        result = table03.compute()
+        assert len(result.rows) == 5
+        assert result.byte_limited_since == "Draft 15 - 32"
+        assert "Table 3" in result.render_text()
+
+
+class TestFunnel:
+    def test_funnel_shares(self, campaign_results):
+        result = funnel.compute(
+            campaign_results.https_scan.funnel, len(campaign_results.quic_deployments())
+        )
+        assert result.resolved_share == pytest.approx(0.976, abs=0.03)
+        assert result.a_record_share == pytest.approx(0.866, abs=0.05)
+        assert result.quic_share == pytest.approx(0.21, abs=0.05)
+        assert len(result.as_table()) == 7
+        assert "funnel" in result.render_text().lower()
+
+
+class TestCompressionExperiment:
+    def test_synthetic_and_wild_rates(self, campaign_results):
+        result = compression.compute(
+            campaign_results.quic_deployments(), campaign_results.compression
+        )
+        assert 0.55 <= result.median_synthetic_rate <= 0.80   # paper: ≈65 %
+        assert result.share_below_limit_compressed >= 0.97    # paper: 99 %
+        assert result.wild_mean_rate == pytest.approx(0.73, abs=0.10)
+        assert result.wild_support_share > 0.9
+        assert result.synthetic.share_below_limit_uncompressed < result.share_below_limit_compressed
+        assert "Compression experiment" in result.render_text()

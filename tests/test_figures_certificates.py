@@ -1,0 +1,131 @@
+"""Tests for the certificate-centric figures (2b, 6, 7, 8, 14, Table 2)."""
+
+import pytest
+
+from repro.analysis.figures import figure02b, figure06, figure07, figure08, figure14, table02
+from repro.core.limits import LARGER_COMMON_LIMIT
+from repro.x509.keys import KeyAlgorithm
+
+
+class TestFigure02b:
+    def test_extensions_are_the_largest_field(self, campaign_results):
+        certificates = figure02b.certificates_from_results(campaign_results)
+        result = figure02b.compute(certificates)
+        assert result.certificate_count == len(certificates) > 1000
+        ordering = result.ordering_by_median()
+        assert ordering[0] == "Extensions"
+        assert result.median("Subject") < result.median("PublicKeyInfo")
+        assert "Figure 2(b)" in result.render_text()
+
+
+class TestFigure06:
+    def test_quic_chains_smaller_than_https_only(self, campaign_results):
+        result = figure06.compute(
+            campaign_results.quic_deployments(), campaign_results.https_only_deployments()
+        )
+        assert result.quic_median < result.https_only_median
+        # Paper: 2329 vs 4022 bytes; allow generous bands around the shape.
+        assert 1700 <= result.quic_median <= 3000
+        assert 3400 <= result.https_only_median <= 4600
+        assert 0.25 <= result.share_exceeding_limit <= 0.45
+        assert result.https_only_maximum > 15_000  # the 18-38 kB tail
+        assert result.limit_bytes == LARGER_COMMON_LIMIT
+
+    def test_empty_inputs(self):
+        result = figure06.compute([], [])
+        assert result.share_exceeding_limit == 0.0
+
+
+class TestFigure07:
+    def test_quic_consolidation_stronger_than_https_only(self, campaign_results):
+        quic = figure07.compute(campaign_results.quic_deployments(), "QUIC services")
+        https = figure07.compute(campaign_results.https_only_deployments(), "HTTPS-only services")
+        assert quic.top10_coverage > https.top10_coverage
+        assert quic.top10_coverage > 0.9          # paper: 96.5 %
+        assert 0.55 <= https.top10_coverage <= 0.95  # paper: 72 %
+
+    def test_cloudflare_is_the_top_quic_chain(self, campaign_results):
+        quic = figure07.compute(campaign_results.quic_deployments(), "QUIC services")
+        top_row = quic.rows[0]
+        assert "Cloudflare" in top_row.label
+        assert top_row.share == pytest.approx(0.6, abs=0.08)
+        assert top_row.parent_chain_size < 1500
+
+    def test_majority_of_top_chains_exceed_limits(self, campaign_results):
+        from repro.core.limits import COMMON_AMPLIFICATION_LIMITS
+
+        quic = figure07.compute(campaign_results.quic_deployments(), "QUIC services")
+        # Paper: 7 of the top-10 QUIC parent chains (with median leaf) exceed
+        # common amplification limits... but the dominant Cloudflare chain does not.
+        exceeding = quic.rows_exceeding(min(COMMON_AMPLIFICATION_LIMITS))
+        assert 3 <= exceeding <= 9
+        assert not quic.rows[0].exceeds_limit(LARGER_COMMON_LIMIT)
+
+    def test_row_size_accounting(self, campaign_results):
+        quic = figure07.compute(campaign_results.quic_deployments(), "QUIC services")
+        for row in quic.rows:
+            assert row.typical_total_size == row.parent_chain_size + row.median_leaf_size
+            assert row.max_leaf_size >= row.median_leaf_size
+            assert row.service_count > 0
+
+    def test_render_text(self, campaign_results):
+        quic = figure07.compute(campaign_results.quic_deployments(), "QUIC services")
+        assert "top-10 parent chains" in quic.render_text()
+
+
+class TestFigure08:
+    def test_nonleaf_of_large_chains_dominate(self, campaign_results):
+        result = figure08.compute(campaign_results.quic_deployments())
+        assert result.large_chain_nonleaf_heaviest
+        large_nonleaf = result.group(">4000, Non-leaf")
+        small_nonleaf = result.group("<=4000, Non-leaf")
+        assert large_nonleaf.public_key_info + large_nonleaf.signature > (
+            small_nonleaf.public_key_info + small_nonleaf.signature
+        )
+        assert all(result.counts[label] > 0 for label in result.counts)
+
+    def test_render_text_lists_all_groups(self, campaign_results):
+        text = figure08.compute(campaign_results.quic_deployments()).render_text()
+        assert ">4000, Non-leaf" in text and "<=4000, Leaf" in text
+
+
+class TestTable02:
+    def test_quic_leaves_mostly_ecdsa(self, campaign_results):
+        result = table02.compute(
+            campaign_results.quic_deployments(), campaign_results.https_only_deployments()
+        )
+        assert result.ecdsa_share("QUIC", "Leaf") > 0.6          # paper: 78.9 %
+        assert result.rsa_share("HTTPS-only", "Leaf") > 0.8      # paper: 89.5 %
+        assert result.ecdsa_share("QUIC", "Leaf") > result.ecdsa_share("HTTPS-only", "Leaf")
+        assert result.ecdsa_share("QUIC", "Non-leaf") > result.ecdsa_share("HTTPS-only", "Non-leaf")
+
+    def test_shares_sum_to_one_per_group(self, campaign_results):
+        result = table02.compute(
+            campaign_results.quic_deployments(), campaign_results.https_only_deployments()
+        )
+        for group in ("QUIC", "HTTPS-only"):
+            for cert_type in ("Leaf", "Non-leaf"):
+                total = sum(
+                    result.share(group, cert_type, algorithm)
+                    for algorithm in KeyAlgorithm
+                )
+                assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_render_text(self, campaign_results):
+        result = table02.compute(
+            campaign_results.quic_deployments(), campaign_results.https_only_deployments()
+        )
+        assert "Table 2" in result.render_text()
+
+
+class TestFigure14:
+    def test_cruise_liners_are_rare(self, campaign_results):
+        result = figure14.compute(campaign_results.quic_deployments())
+        assert result.leaf_count > 100
+        assert result.share_san_below_10pct > 0.5
+        assert result.share_high_san_and_over_limit < 0.05
+        assert 0.0 < result.top1pct_san_share_threshold < 1.0
+
+    def test_empty_input(self):
+        result = figure14.compute([])
+        assert result.leaf_count == 0

@@ -1,0 +1,101 @@
+"""Tests for the handshake-centric figures (3, 4, 5, 12, 13)."""
+
+import pytest
+
+from repro.analysis.figures import figure03, figure04, figure05, figure12, figure13
+from repro.quic.handshake import HandshakeClass
+
+
+class TestFigure03:
+    def test_class_shares_match_paper_at_default_size(self, campaign_results):
+        result = figure03.compute(campaign_results.sweep)
+        size = 1360  # closest sweep point to the 1362-byte analysis size
+        assert size in result.counts or 1362 in result.counts
+        probe_size = size if size in result.counts else 1362
+        amplification = result.share(probe_size, HandshakeClass.AMPLIFICATION)
+        multi_rtt = result.share(probe_size, HandshakeClass.MULTI_RTT)
+        one_rtt = result.share(probe_size, HandshakeClass.ONE_RTT)
+        assert amplification == pytest.approx(0.61, abs=0.12)
+        assert multi_rtt == pytest.approx(0.38, abs=0.12)
+        assert one_rtt < 0.06
+
+    def test_amplification_independent_of_initial_size(self, campaign_results):
+        result = figure03.compute(campaign_results.sweep)
+        sizes = result.initial_sizes()
+        counts = [result.counts[s].get(HandshakeClass.AMPLIFICATION, 0) for s in sizes]
+        assert max(counts) - min(counts) <= max(3, 0.1 * max(counts))
+
+    def test_larger_initials_shift_multi_rtt_towards_one_rtt(self, campaign_results):
+        result = figure03.compute(campaign_results.sweep)
+        sizes = result.initial_sizes()
+        first, last = sizes[0], sizes[-1]
+        assert result.share(last, HandshakeClass.ONE_RTT) >= result.share(first, HandshakeClass.ONE_RTT)
+        assert result.share(last, HandshakeClass.MULTI_RTT) <= result.share(first, HandshakeClass.MULTI_RTT)
+
+    def test_reachability_drops_slightly_for_large_initials(self, campaign_results):
+        result = figure03.compute(campaign_results.sweep)
+        assert 0.0 < result.reachability_drop() < 0.10
+
+    def test_table_and_text(self, campaign_results):
+        result = figure03.compute(campaign_results.sweep)
+        table = result.as_table()
+        assert len(table) == len(result.initial_sizes())
+        assert "Figure 3" in result.render_text()
+
+
+class TestFigure04:
+    def test_amplification_factors_small_but_above_three(self, campaign_results):
+        result = figure04.compute(campaign_results.handshakes)
+        assert result.service_count > 50
+        assert 3.0 < result.median < 6.0
+        assert result.maximum < 8.0
+        assert result.share_below(6.0) > 0.95  # the paper: factors stay below ≈6x
+        assert "Figure 4" in result.render_text()
+
+    def test_empty_observations(self):
+        result = figure04.compute([])
+        assert result.service_count == 0
+
+
+class TestFigure05:
+    def test_tls_alone_exceeds_limit_for_most_multi_rtt(self, campaign_results):
+        result = figure05.compute(campaign_results.handshakes)
+        assert result.handshake_count > 30
+        assert result.share_tls_alone_exceeds > 0.75  # paper: 87 %
+        # Entries are sorted ascending by total bytes (the ranked x-axis).
+        totals = [total for _, total, _ in result.entries]
+        assert totals == sorted(totals)
+        assert result.max_quic_overhead > 0
+        assert "Figure 5" in result.render_text()
+
+
+class TestFigure12:
+    def test_shares_stable_across_rank_groups(self, campaign_results):
+        result = figure12.compute(list(campaign_results.population.deployments))
+        assert len(result.group_labels) == 10
+        assert result.mean_quic_share == pytest.approx(0.21, abs=0.05)
+        assert result.quic_share_stddev < 0.05  # paper: sigma = 3 percentage points
+        assert "Figure 12" in result.render_text()
+
+    def test_empty_input(self):
+        result = figure12.compute([])
+        assert result.group_labels == ()
+
+
+class TestFigure13:
+    def test_classes_stable_and_one_rtt_higher_at_top(self, campaign_results):
+        # Five rank groups keep the per-group sample large enough for the
+        # stability check to be meaningful at the test population size.
+        result = figure13.compute(campaign_results.handshakes, group_count=5)
+        assert len(result.group_labels) >= 4
+        amplification_shares = [
+            result.share(label, HandshakeClass.AMPLIFICATION) for label in result.group_labels
+        ]
+        assert max(amplification_shares) - min(amplification_shares) < 0.35
+        top, rest = result.one_rtt_share_top_vs_rest()
+        assert top >= rest  # paper: 3.02 % in the top group vs <0.95 % elsewhere
+        assert "Figure 13" in result.render_text()
+
+    def test_empty_observations(self):
+        result = figure13.compute([])
+        assert result.group_labels == ()

@@ -1,0 +1,167 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.cdf import EmpiricalCdf
+from repro.asn1 import decode_integer, decode_length, decode_oid, decode_tlv, encode_integer, encode_length, encode_oid
+from repro.core.amplification import summarize_amplification
+from repro.core.classification import classify_flight
+from repro.core.guidance import InitialSizeCache
+from repro.core.limits import MIN_INITIAL_SIZE, amplification_limit
+from repro.quic.anti_amplification import AmplificationTracker
+from repro.quic.connection_id import ConnectionId
+from repro.quic.frames import CryptoFrame, PaddingFrame, split_crypto_stream
+from repro.quic.packet import InitialPacket
+from repro.quic.varint import decode_varint, encode_varint, varint_size
+from repro.quic.coalescing import split_into_datagrams
+from repro.quic.handshake import HandshakeClass
+
+
+# ---------------------------------------------------------------------------
+# Encoding round-trips
+# ---------------------------------------------------------------------------
+
+@given(st.integers(min_value=0, max_value=2**62 - 1))
+def test_varint_roundtrip(value):
+    encoded = encode_varint(value)
+    decoded, consumed = decode_varint(encoded)
+    assert decoded == value
+    assert consumed == len(encoded) == varint_size(value)
+
+
+@given(st.integers(min_value=0, max_value=2**62 - 1))
+def test_varint_encoding_is_minimal_and_ordered_by_size(value):
+    # A longer encoding never encodes a smaller range.
+    size = varint_size(value)
+    assert size in (1, 2, 4, 8)
+    if size > 1:
+        assert value >= {2: 1 << 6, 4: 1 << 14, 8: 1 << 30}[size]
+
+
+@given(st.integers(min_value=-(2**256), max_value=2**256))
+def test_der_integer_roundtrip(value):
+    tag, content, consumed = decode_tlv(encode_integer(value))
+    assert decode_integer(content) == value
+    assert consumed == len(encode_integer(value))
+
+
+@given(st.integers(min_value=0, max_value=2**31))
+def test_der_length_roundtrip(length):
+    encoded = encode_length(length)
+    decoded, offset = decode_length(encoded, 0)
+    assert decoded == length and offset == len(encoded)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=2**28), min_size=0, max_size=8).map(
+        lambda arcs: "1.3." + ".".join(str(a) for a in arcs) if arcs else "1.3"
+    )
+)
+def test_oid_roundtrip(dotted):
+    _, content, _ = decode_tlv(encode_oid(dotted))
+    assert decode_oid(content) == dotted
+
+
+# ---------------------------------------------------------------------------
+# QUIC invariants
+# ---------------------------------------------------------------------------
+
+@given(st.binary(min_size=0, max_size=6000), st.integers(min_value=1, max_value=1500))
+def test_split_crypto_stream_is_lossless_and_contiguous(data, chunk_size):
+    frames = split_crypto_stream(data, chunk_size)
+    assert b"".join(f.data for f in frames) == data
+    offset = 0
+    for frame in frames:
+        assert frame.offset == offset
+        offset = frame.end_offset
+
+
+@given(st.integers(min_value=1200, max_value=1472), st.binary(min_size=1, max_size=900))
+def test_initial_padding_reaches_exact_target(target, payload):
+    packet = InitialPacket(
+        ConnectionId.generate("d", 8), ConnectionId.generate("s", 8), 0,
+        (CryptoFrame(0, payload),),
+    )
+    padded = packet.with_padding_to(target)
+    assert padded.size == max(target, packet.size)
+    assert len(padded.encode()) == padded.size
+
+
+@given(st.lists(st.integers(min_value=1, max_value=1300), min_size=1, max_size=25), st.booleans())
+def test_datagram_splitting_preserves_bytes_and_respects_mtu(sizes, coalesce_enabled):
+    packets = [
+        InitialPacket(
+            ConnectionId.generate("d", 8), ConnectionId.generate("s", 8), i,
+            (CryptoFrame(0, bytes(size)),),
+        )
+        for i, size in enumerate(sizes)
+    ]
+    datagrams = split_into_datagrams(packets, mtu=1472, coalescing_enabled=coalesce_enabled)
+    assert sum(d.size for d in datagrams) == sum(p.size for p in packets)
+    assert all(d.size <= 1472 for d in datagrams)
+    if not coalesce_enabled:
+        assert len(datagrams) == len(packets)
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["recv", "send"]), st.integers(min_value=0, max_value=5000)),
+        max_size=60,
+    )
+)
+def test_amplification_tracker_never_exceeds_limit_when_respected(events):
+    """A sender that only sends what ``can_send`` allows never violates the limit."""
+    tracker = AmplificationTracker()
+    for kind, size in events:
+        if kind == "recv":
+            tracker.on_datagram_received(size)
+        else:
+            if tracker.can_send(size):
+                tracker.on_datagram_sent(size)
+    assert not tracker.violates_rfc_limit
+    assert tracker.bytes_sent <= tracker.limit
+
+
+@given(st.integers(min_value=1200, max_value=1472), st.integers(min_value=0, max_value=60000),
+       st.integers(min_value=1, max_value=4), st.booleans())
+def test_classification_is_total_and_consistent(initial, server_bytes, rtts, retry):
+    handshake_class = classify_flight(initial, server_bytes, rtts, retry)
+    assert isinstance(handshake_class, HandshakeClass)
+    if retry:
+        assert handshake_class is HandshakeClass.RETRY
+    elif rtts == 1 and server_bytes <= amplification_limit(initial):
+        assert handshake_class is HandshakeClass.ONE_RTT
+
+
+# ---------------------------------------------------------------------------
+# Analysis invariants
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=0, max_value=1e9, allow_nan=False), min_size=1, max_size=300))
+def test_cdf_is_monotone_and_bounded(values):
+    cdf = EmpiricalCdf.from_values(values)
+    assert cdf.probability_at(min(values) - 1) == 0.0
+    assert cdf.probability_at(max(values)) == 1.0
+    points = cdf.points(max_points=50)
+    ys = [y for _, y in points]
+    assert all(0 < y <= 1 for y in ys)
+    assert ys == sorted(ys)
+    assert min(values) <= cdf.median <= max(values)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), min_size=1, max_size=200))
+def test_amplification_summary_ordering(factors):
+    report = summarize_amplification(factors)
+    assert report.minimum <= report.median <= report.p90 <= report.p99 <= report.maximum
+    assert 0.0 <= report.share_exceeding_limit <= 1.0
+    assert report.count == len(factors)
+
+
+@given(st.integers(min_value=0, max_value=40000), st.booleans())
+def test_initial_size_cache_suggestions_are_valid(flight_bytes, achieved):
+    cache = InitialSizeCache()
+    entry = cache.record_handshake("server.example", flight_bytes, achieved)
+    assert MIN_INITIAL_SIZE <= entry.suggested_initial_size <= 1472
+    # The suggestion, if it fits below the MTU, gives the server enough budget.
+    if entry.suggested_initial_size < 1472:
+        assert 3 * entry.suggested_initial_size >= min(flight_bytes, 3 * 1472)

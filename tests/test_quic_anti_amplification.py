@@ -1,0 +1,91 @@
+"""Unit tests for the anti-amplification tracker."""
+
+import pytest
+
+from repro.quic import ANTI_AMPLIFICATION_FACTOR, AmplificationTracker
+
+
+class TestCompliantAccounting:
+    def test_limit_is_three_times_received(self):
+        tracker = AmplificationTracker()
+        tracker.on_datagram_received(1200)
+        assert tracker.limit == 3600
+        assert tracker.remaining_budget == 3600
+
+    def test_budget_decreases_with_sends(self):
+        tracker = AmplificationTracker()
+        tracker.on_datagram_received(1200)
+        tracker.on_datagram_sent(1000)
+        assert tracker.remaining_budget == 2600
+        assert tracker.can_send(2600)
+        assert not tracker.can_send(2601)
+
+    def test_blocked_when_budget_exhausted(self):
+        tracker = AmplificationTracker()
+        tracker.on_datagram_received(1200)
+        tracker.on_datagram_sent(3600)
+        assert tracker.is_blocked
+        assert not tracker.can_send(1)
+
+    def test_validation_lifts_the_limit(self):
+        tracker = AmplificationTracker()
+        tracker.on_datagram_received(1200)
+        tracker.on_datagram_sent(3600)
+        tracker.on_address_validated()
+        assert not tracker.is_blocked
+        assert tracker.can_send(10**6)
+
+    def test_additional_receives_grow_budget(self):
+        tracker = AmplificationTracker()
+        tracker.on_datagram_received(1200)
+        tracker.on_datagram_sent(3000)
+        tracker.on_datagram_received(1200)
+        assert tracker.remaining_budget == 2 * 3600 - 3000
+
+    def test_negative_sizes_rejected(self):
+        tracker = AmplificationTracker()
+        with pytest.raises(ValueError):
+            tracker.on_datagram_received(-1)
+        with pytest.raises(ValueError):
+            tracker.on_datagram_sent(-1)
+
+
+class TestNonCompliantAccounting:
+    def test_padding_exclusion_mimics_cloudflare(self):
+        tracker = AmplificationTracker(exclude_padding=True)
+        tracker.on_datagram_received(1200)
+        tracker.on_datagram_sent(1200, padding_only=True)
+        # The server's own accounting ignores the padded datagram...
+        assert tracker.accounted_bytes_sent == 0
+        assert tracker.can_send(3600)
+        # ...but ground truth still sees the bytes.
+        assert tracker.bytes_sent == 1200
+
+    def test_ignore_limit_mimics_mvfst(self):
+        tracker = AmplificationTracker(ignore_limit=True)
+        tracker.on_datagram_received(1200)
+        for _ in range(10):
+            tracker.on_datagram_sent(3000)
+        assert tracker.can_send(10**6)
+        assert tracker.violates_rfc_limit
+
+    def test_true_amplification_factor(self):
+        tracker = AmplificationTracker()
+        tracker.on_datagram_received(1000)
+        tracker.on_datagram_sent(4500)
+        assert tracker.true_amplification_factor == pytest.approx(4.5)
+        assert tracker.violates_rfc_limit
+
+    def test_factor_with_no_receives(self):
+        tracker = AmplificationTracker()
+        assert tracker.true_amplification_factor == 0.0
+        tracker.on_datagram_sent(100)
+        assert tracker.true_amplification_factor == float("inf")
+
+    def test_rfc_violation_threshold_is_exactly_three_times(self):
+        tracker = AmplificationTracker()
+        tracker.on_datagram_received(1000)
+        tracker.on_datagram_sent(ANTI_AMPLIFICATION_FACTOR * 1000)
+        assert not tracker.violates_rfc_limit
+        tracker.on_datagram_sent(1)
+        assert tracker.violates_rfc_limit

@@ -1,0 +1,79 @@
+"""Unit tests for QUIC frames."""
+
+import pytest
+
+from repro.quic.frames import (
+    AckFrame,
+    ConnectionCloseFrame,
+    CryptoFrame,
+    FrameType,
+    PaddingFrame,
+    PingFrame,
+    split_crypto_stream,
+)
+
+
+class TestPadding:
+    def test_padding_is_zero_bytes(self):
+        frame = PaddingFrame(10)
+        assert frame.encode() == bytes(10)
+        assert frame.size == 10
+
+    def test_padding_not_ack_eliciting(self):
+        assert PaddingFrame(1).is_ack_eliciting is False
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            PaddingFrame(-1)
+
+
+class TestAckAndPing:
+    def test_ack_not_ack_eliciting(self):
+        assert AckFrame().is_ack_eliciting is False
+
+    def test_ping_is_ack_eliciting(self):
+        assert PingFrame().is_ack_eliciting is True
+        assert PingFrame().encode() == bytes([FrameType.PING])
+
+    def test_ack_encoding_starts_with_type(self):
+        encoded = AckFrame(largest_acknowledged=3).encode()
+        assert encoded[0] == FrameType.ACK
+        assert len(encoded) >= 5
+
+
+class TestCrypto:
+    def test_crypto_frame_overhead_is_small(self):
+        data = bytes(1000)
+        frame = CryptoFrame(offset=0, data=data)
+        assert frame.is_ack_eliciting
+        assert 1002 <= frame.size <= 1006  # type + offset varint + length varint
+
+    def test_end_offset(self):
+        frame = CryptoFrame(offset=100, data=bytes(50))
+        assert frame.end_offset == 150
+
+    def test_split_crypto_stream_covers_all_bytes(self):
+        data = bytes(range(256)) * 20  # 5120 bytes
+        frames = split_crypto_stream(data, chunk_size=1400)
+        assert sum(len(f.data) for f in frames) == len(data)
+        assert frames[0].offset == 0
+        assert frames[-1].end_offset == len(data)
+        # Offsets are contiguous.
+        for first, second in zip(frames, frames[1:]):
+            assert first.end_offset == second.offset
+
+    def test_split_empty_stream_yields_single_empty_frame(self):
+        frames = split_crypto_stream(b"", chunk_size=1200)
+        assert len(frames) == 1
+        assert frames[0].data == b""
+
+    def test_split_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            split_crypto_stream(b"abc", chunk_size=0)
+
+
+class TestConnectionClose:
+    def test_contains_reason(self):
+        frame = ConnectionCloseFrame(error_code=7, reason="go away")
+        assert b"go away" in frame.encode()
+        assert frame.is_ack_eliciting is False

@@ -1,0 +1,93 @@
+"""Unit tests for QUIC packet size accounting."""
+
+import pytest
+
+from repro.quic import (
+    AEAD_TAG_SIZE,
+    MIN_CLIENT_INITIAL_SIZE,
+    ConnectionId,
+    HandshakePacket,
+    InitialPacket,
+    OneRttPacket,
+    PacketType,
+    RetryPacket,
+)
+from repro.quic.frames import AckFrame, CryptoFrame, PaddingFrame
+
+
+@pytest.fixture
+def cids():
+    return ConnectionId.generate("dst", 8), ConnectionId.generate("src", 8)
+
+
+class TestConnectionId:
+    def test_generate_length(self):
+        assert len(ConnectionId.generate("seed", 8)) == 8
+        assert len(ConnectionId.empty()) == 0
+
+    def test_deterministic(self):
+        assert ConnectionId.generate("seed", 8) == ConnectionId.generate("seed", 8)
+
+    def test_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            ConnectionId(b"x" * 21)
+        with pytest.raises(ValueError):
+            ConnectionId.generate("seed", 21)
+
+
+class TestPacketSizes:
+    def test_encoded_length_matches_size_property(self, cids):
+        dcid, scid = cids
+        packet = InitialPacket(dcid, scid, 0, (CryptoFrame(0, bytes(300)),))
+        assert len(packet.encode()) == packet.size
+
+    def test_initial_header_includes_token_length(self, cids):
+        dcid, scid = cids
+        without = InitialPacket(dcid, scid, 0, (CryptoFrame(0, bytes(100)),))
+        with_token = InitialPacket(dcid, scid, 0, (CryptoFrame(0, bytes(100)),), token=b"t" * 32)
+        assert with_token.size >= without.size + 32
+
+    def test_aead_tag_included(self, cids):
+        dcid, scid = cids
+        packet = HandshakePacket(dcid, scid, 0, (CryptoFrame(0, b""),))
+        assert packet.size >= packet.payload_size + AEAD_TAG_SIZE
+
+    def test_retry_has_no_payload_or_tag_expansion(self, cids):
+        dcid, scid = cids
+        retry = RetryPacket(dcid, scid, token=b"token-bytes")
+        assert retry.packet_type is PacketType.RETRY
+        assert retry.size == len(retry.encode())
+        assert retry.is_ack_eliciting is False
+
+    def test_one_rtt_short_header_is_smaller(self, cids):
+        dcid, scid = cids
+        long_header = HandshakePacket(dcid, scid, 0, (CryptoFrame(0, bytes(100)),))
+        short_header = OneRttPacket(dcid, 0, (CryptoFrame(0, bytes(100)),))
+        assert short_header.size < long_header.size
+
+    def test_packet_number_length_grows(self, cids):
+        dcid, scid = cids
+        small = InitialPacket(dcid, scid, 1, (CryptoFrame(0, b""),))
+        large = InitialPacket(dcid, scid, 70000, (CryptoFrame(0, b""),))
+        assert large.size > small.size
+
+
+class TestPadding:
+    def test_with_padding_to_reaches_exact_target(self, cids):
+        dcid, scid = cids
+        packet = InitialPacket(dcid, scid, 0, (CryptoFrame(0, bytes(200)),))
+        padded = packet.with_padding_to(MIN_CLIENT_INITIAL_SIZE)
+        assert padded.size == MIN_CLIENT_INITIAL_SIZE
+        assert padded.padding_bytes > 0
+
+    def test_with_padding_to_noop_when_already_large(self, cids):
+        dcid, scid = cids
+        packet = InitialPacket(dcid, scid, 0, (CryptoFrame(0, bytes(1300)),))
+        assert packet.with_padding_to(1200) is packet
+
+    def test_ack_eliciting_depends_on_frames(self, cids):
+        dcid, scid = cids
+        ack_only = InitialPacket(dcid, scid, 0, (AckFrame(), PaddingFrame(100)))
+        with_crypto = InitialPacket(dcid, scid, 0, (CryptoFrame(0, bytes(10)),))
+        assert ack_only.is_ack_eliciting is False
+        assert with_crypto.is_ack_eliciting is True

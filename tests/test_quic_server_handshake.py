@@ -1,0 +1,178 @@
+"""Unit tests for the QUIC server engine, handshake simulation and profiles."""
+
+import pytest
+
+from repro.quic import (
+    BUILTIN_PROFILES,
+    CoalescenceMode,
+    HandshakeClass,
+    QuicClientConfig,
+    QuicServer,
+    ServerBehaviorProfile,
+    build_client_initial_datagram,
+    simulate_handshake,
+    simulate_unvalidated_probe,
+)
+from repro.quic.profiles import CLOUDFLARE_LIKE, MVFST_LIKE, RETRY_ALWAYS, RFC_COMPLIANT
+from repro.tls.handshake_messages import ClientHello
+
+
+class TestClientInitial:
+    def test_padded_to_exact_size(self):
+        for size in (1200, 1252, 1357, 1472):
+            config = QuicClientConfig(initial_datagram_size=size)
+            datagram = build_client_initial_datagram("client.example", config)
+            assert datagram.size == size
+
+    def test_below_minimum_rejected(self):
+        with pytest.raises(ValueError):
+            QuicClientConfig(initial_datagram_size=1199)
+
+    def test_above_mtu_rejected(self):
+        with pytest.raises(ValueError):
+            QuicClientConfig(initial_datagram_size=1500)
+
+    def test_browser_profiles(self):
+        chromium = QuicClientConfig.browser("chrome")
+        firefox = QuicClientConfig.browser("firefox")
+        assert chromium.initial_datagram_size == 1250
+        assert chromium.compression_algorithms  # brotli
+        assert firefox.initial_datagram_size == 1357
+        assert not firefox.compression_algorithms
+        with pytest.raises(ValueError):
+            QuicClientConfig.browser("netscape")
+
+
+class TestServerFlightPlans:
+    def test_compliant_server_respects_limit(self, lets_encrypt_long_chain):
+        server = QuicServer("srv.example", lets_encrypt_long_chain, RFC_COMPLIANT)
+        plan = server.respond_to_initial(ClientHello(server_name="srv.example"), 1200)
+        assert plan.first_rtt_bytes <= 3 * 1200
+        assert plan.requires_additional_rtt
+        assert plan.deferred_bytes > 0
+
+    def test_small_chain_fits_in_one_rtt(self, lets_encrypt_short_chain):
+        server = QuicServer("short.example", lets_encrypt_short_chain, RFC_COMPLIANT)
+        plan = server.respond_to_initial(ClientHello(server_name="short.example"), 1362)
+        assert not plan.requires_additional_rtt
+        assert plan.first_rtt_bytes <= 3 * 1362
+
+    def test_cloudflare_profile_exceeds_limit_in_one_rtt(self, cloudflare_chain):
+        server = QuicServer("cf.example", cloudflare_chain, CLOUDFLARE_LIKE)
+        plan = server.respond_to_initial(ClientHello(server_name="cf.example"), 1362)
+        assert not plan.requires_additional_rtt
+        assert plan.first_rtt_bytes > 3 * 1362
+        # The split-Initial behaviour produces two padded Initial datagrams,
+        # i.e. roughly 2400 bytes of padding overhead (the paper's 2462 bytes).
+        assert plan.padding_bytes_first_rtt > 1800
+
+    def test_cloudflare_sends_two_initial_datagrams(self, cloudflare_chain):
+        server = QuicServer("cf.example", cloudflare_chain, CLOUDFLARE_LIKE)
+        plan = server.respond_to_initial(ClientHello(server_name="cf.example"), 1362)
+        initial_datagrams = [d for d in plan.first_rtt_datagrams if d.contains_initial]
+        assert len(initial_datagrams) == 2
+        assert all(d.size >= 1200 for d in initial_datagrams)
+        assert all(not d.is_coalesced for d in plan.first_rtt_datagrams)
+
+    def test_retry_profile_answers_with_retry_first(self, lets_encrypt_short_chain):
+        server = QuicServer("retry.example", lets_encrypt_short_chain, RETRY_ALWAYS)
+        plan = server.respond_to_initial(ClientHello(server_name="retry.example"), 1200)
+        assert plan.uses_retry
+        assert plan.first_rtt_datagrams == ()
+        follow_up = server.respond_to_initial(
+            ClientHello(server_name="retry.example"), 1200, client_sent_retry_token=True
+        )
+        assert not follow_up.uses_retry
+        assert follow_up.first_rtt_bytes > 0
+
+    def test_tls_bytes_total_close_to_flight(self, cloudflare_chain):
+        server = QuicServer("tls.example", cloudflare_chain, RFC_COMPLIANT)
+        plan = server.respond_to_initial(ClientHello(server_name="tls.example"), 1362)
+        assert plan.tls_bytes_total > cloudflare_chain.total_size
+        assert plan.quic_overhead_total > 0
+        assert plan.total_bytes == plan.first_rtt_bytes + plan.deferred_bytes
+
+
+class TestHandshakeSimulation:
+    def test_classification_matches_profiles(self, hierarchy, browser_client):
+        cases = [
+            ("Cloudflare ECC CA-3", "cloudflare-like", HandshakeClass.AMPLIFICATION),
+            ("Let's Encrypt R3 + cross-signed X1", "rfc-compliant", HandshakeClass.MULTI_RTT),
+            ("Let's Encrypt E1 (short)", "rfc-compliant", HandshakeClass.ONE_RTT),
+            ("Let's Encrypt R3 (short)", "retry-always", HandshakeClass.RETRY),
+        ]
+        for profile_label, behavior, expected in cases:
+            chain = hierarchy.profiles[profile_label].issue(f"{behavior}.example")
+            outcome = simulate_handshake(
+                f"{behavior}.example", chain, BUILTIN_PROFILES[behavior], browser_client
+            )
+            assert outcome.handshake_class is expected, profile_label
+
+    def test_trace_round_trips(self, hierarchy, browser_client):
+        chain = hierarchy.profiles["Let's Encrypt R3 + cross-signed X1"].issue("rtt.example")
+        outcome = simulate_handshake("rtt.example", chain, RFC_COMPLIANT, browser_client)
+        assert outcome.trace.round_trips == 2
+        short = hierarchy.profiles["Let's Encrypt E1 (short)"].issue("rtt2.example")
+        outcome_short = simulate_handshake("rtt2.example", short, RFC_COMPLIANT, browser_client)
+        assert outcome_short.trace.round_trips == 1
+
+    def test_amplification_factor_of_compliant_server_below_three(self, hierarchy, browser_client):
+        chain = hierarchy.profiles["Let's Encrypt E1 (short)"].issue("amp.example")
+        outcome = simulate_handshake("amp.example", chain, RFC_COMPLIANT, browser_client)
+        assert outcome.trace.first_rtt_amplification <= 3.0
+
+    def test_larger_initial_can_turn_multi_rtt_into_one_rtt(self, hierarchy):
+        chain = hierarchy.profiles["GoDaddy G2"].issue("border.example")
+        small = simulate_handshake(
+            "border.example", chain, RFC_COMPLIANT, QuicClientConfig(initial_datagram_size=1200)
+        )
+        large = simulate_handshake(
+            "border.example", chain, RFC_COMPLIANT, QuicClientConfig(initial_datagram_size=1472)
+        )
+        assert small.handshake_class is HandshakeClass.MULTI_RTT
+        assert large.handshake_class is HandshakeClass.ONE_RTT
+
+
+class TestUnvalidatedProbes:
+    def test_compliant_server_stays_near_limit(self, lets_encrypt_long_chain):
+        probe = simulate_unvalidated_probe("p.example", lets_encrypt_long_chain, RFC_COMPLIANT)
+        assert probe.amplification_factor <= 3.5
+
+    def test_mvfst_like_server_amplifies_heavily(self, hierarchy):
+        chain = hierarchy.profiles["DigiCert SHA2 + root (Meta)"].issue(
+            "meta.example", san_names=[f"alt{i}.meta.example" for i in range(60)]
+        )
+        probe = simulate_unvalidated_probe("meta.example", chain, MVFST_LIKE)
+        assert probe.amplification_factor > 15
+        assert probe.violates_limit
+
+    def test_retry_probe_is_tiny(self, lets_encrypt_short_chain):
+        probe = simulate_unvalidated_probe("r.example", lets_encrypt_short_chain, RETRY_ALWAYS)
+        assert probe.amplification_factor < 0.5
+
+    def test_schedule_is_consistent_with_total(self, cloudflare_chain):
+        server = QuicServer("sched.example", cloudflare_chain, MVFST_LIKE)
+        hello = ClientHello(server_name="sched.example")
+        plan, schedule = server.unvalidated_transmission_schedule(hello, 1252)
+        _, total = server.unvalidated_transmission(hello, 1252)
+        assert sum(size for _, size in schedule) == total
+        assert schedule[0][0] == 0.0
+        assert schedule[-1][0] > 0.0  # retransmission rounds are delayed
+
+
+class TestProfiles:
+    def test_builtin_profile_names(self):
+        for name in ("rfc-compliant", "cloudflare-like", "mvfst-like", "retry-always", "google-like"):
+            assert name in BUILTIN_PROFILES
+
+    def test_describe_mentions_key_attributes(self):
+        description = CLOUDFLARE_LIKE.describe()
+        assert "padding-counted=no" in description
+        assert "coalescence=split-initial-ack" in description
+
+    def test_with_compression_returns_new_profile(self):
+        from repro.tls.cert_compression import CertificateCompressionAlgorithm
+
+        profile = RFC_COMPLIANT.with_compression(CertificateCompressionAlgorithm.ZSTD)
+        assert profile.supports_compression(CertificateCompressionAlgorithm.ZSTD)
+        assert not RFC_COMPLIANT.supports_compression(CertificateCompressionAlgorithm.ZSTD)

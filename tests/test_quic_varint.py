@@ -1,0 +1,48 @@
+"""Unit tests for QUIC variable-length integers."""
+
+import pytest
+
+from repro.quic import VarintError, decode_varint, encode_varint, varint_size
+
+
+class TestVarintSize:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0, 1), (63, 1), (64, 2), (16383, 2), (16384, 4), (2**30 - 1, 4), (2**30, 8), (2**62 - 1, 8)],
+    )
+    def test_boundaries(self, value, expected):
+        assert varint_size(value) == expected
+
+    def test_out_of_range(self):
+        with pytest.raises(VarintError):
+            varint_size(-1)
+        with pytest.raises(VarintError):
+            varint_size(2**62)
+
+
+class TestVarintEncoding:
+    def test_rfc9000_appendix_a_examples(self):
+        # RFC 9000 Appendix A.1 sample encodings.
+        assert encode_varint(151288809941952652) == bytes.fromhex("c2197c5eff14e88c")
+        assert encode_varint(494878333) == bytes.fromhex("9d7f3e7d")
+        assert encode_varint(15293) == bytes.fromhex("7bbd")
+        assert encode_varint(37) == bytes.fromhex("25")
+
+    @pytest.mark.parametrize("value", [0, 1, 63, 64, 300, 16383, 16384, 10**6, 2**30, 2**62 - 1])
+    def test_roundtrip(self, value):
+        encoded = encode_varint(value)
+        decoded, consumed = decode_varint(encoded)
+        assert decoded == value
+        assert consumed == len(encoded) == varint_size(value)
+
+    def test_decode_with_offset(self):
+        data = b"\xff" + encode_varint(1200)
+        value, offset = decode_varint(data, 1)
+        assert value == 1200
+        assert offset == len(data)
+
+    def test_decode_truncated(self):
+        with pytest.raises(VarintError):
+            decode_varint(b"")
+        with pytest.raises(VarintError):
+            decode_varint(encode_varint(2**40)[:-2])

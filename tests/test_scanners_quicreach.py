@@ -1,0 +1,95 @@
+"""Unit tests for the quicreach-like scanner and the Initial-size sweep."""
+
+import pytest
+
+from repro.netsim import IPv4Address, QuicServiceHost, UdpNetwork
+from repro.quic.handshake import HandshakeClass
+from repro.quic.profiles import CLOUDFLARE_LIKE, RFC_COMPLIANT
+from repro.scanners import InitialSizeSweep, QuicReach
+from repro.scanners.quicreach import DEFAULT_ANALYSIS_INITIAL_SIZE, SWEEP_INITIAL_SIZES
+
+
+@pytest.fixture
+def small_network(cloudflare_chain, lets_encrypt_long_chain, lets_encrypt_short_chain):
+    network = UdpNetwork()
+    network.attach_host(
+        QuicServiceHost(IPv4Address.parse("10.1.0.1"), "cf.example", cloudflare_chain, CLOUDFLARE_LIKE)
+    )
+    network.attach_host(
+        QuicServiceHost(IPv4Address.parse("10.1.0.2"), "long.example", lets_encrypt_long_chain, RFC_COMPLIANT)
+    )
+    network.attach_host(
+        QuicServiceHost(IPv4Address.parse("10.1.0.3"), "short.example", lets_encrypt_short_chain, RFC_COMPLIANT)
+    )
+    network.attach_host(
+        QuicServiceHost(
+            IPv4Address.parse("10.1.0.4"),
+            "tunnelled.example",
+            lets_encrypt_short_chain,
+            RFC_COMPLIANT,
+            encapsulation_overhead=60,
+        )
+    )
+    return network
+
+
+class TestQuicReach:
+    def test_sweep_constants_match_paper(self):
+        assert SWEEP_INITIAL_SIZES[0] == 1200
+        assert SWEEP_INITIAL_SIZES[-1] == 1472
+        assert DEFAULT_ANALYSIS_INITIAL_SIZE == 1362
+        assert SWEEP_INITIAL_SIZES[1] - SWEEP_INITIAL_SIZES[0] == 10
+
+    def test_scan_classifies_services(self, small_network):
+        scanner = QuicReach(small_network)
+        assert scanner.scan_domain("cf.example").handshake_class is HandshakeClass.AMPLIFICATION
+        assert scanner.scan_domain("long.example").handshake_class is HandshakeClass.MULTI_RTT
+        assert scanner.scan_domain("short.example").handshake_class is HandshakeClass.ONE_RTT
+
+    def test_unknown_domain_is_unreachable(self, small_network):
+        observation = QuicReach(small_network).scan_domain("nope.example")
+        assert not observation.reachable
+        assert observation.handshake_class is None
+
+    def test_tunnelled_service_unreachable_for_large_initials(self, small_network):
+        scanner = QuicReach(small_network)
+        small = scanner.scan_domain("tunnelled.example", initial_size=1250)
+        large = scanner.scan_domain("tunnelled.example", initial_size=1472)
+        assert small.reachable
+        assert not large.reachable
+
+    def test_observation_byte_accounting(self, small_network):
+        observation = QuicReach(small_network).scan_domain("cf.example")
+        assert observation.total_bytes >= observation.first_rtt_bytes
+        assert observation.tls_payload_bytes > 0
+        assert observation.quic_overhead_bytes > 0
+        assert observation.amplification_factor == pytest.approx(
+            observation.first_rtt_bytes / observation.initial_size
+        )
+        assert observation.exceeds_limit
+
+    def test_scan_many_preserves_metadata(self, small_network):
+        observations = QuicReach(small_network).scan_many(
+            [("cf.example", 5, "cloudflare"), ("short.example", 9, None)]
+        )
+        assert observations[0].rank == 5 and observations[0].provider == "cloudflare"
+        assert observations[1].rank == 9
+
+
+class TestInitialSizeSweep:
+    def test_sweep_covers_all_sizes(self, small_network):
+        sweep = InitialSizeSweep(QuicReach(small_network), initial_sizes=(1200, 1350, 1472))
+        result = sweep.run([("cf.example", 1, None), ("short.example", 2, None)])
+        assert result.initial_sizes() == (1200, 1350, 1472)
+        assert len(result.observations) == 6
+
+    def test_class_counts_and_reachability(self, small_network):
+        sweep = InitialSizeSweep(QuicReach(small_network), initial_sizes=(1250, 1472))
+        result = sweep.run(
+            [("cf.example", 1, None), ("short.example", 2, None), ("tunnelled.example", 3, None)]
+        )
+        assert result.reachable_count(1250) == 3
+        assert result.reachable_count(1472) == 2
+        counts = result.class_counts(1250)
+        assert counts[HandshakeClass.AMPLIFICATION] == 1
+        assert counts[HandshakeClass.ONE_RTT] == 2

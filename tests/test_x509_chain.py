@@ -1,0 +1,94 @@
+"""Unit tests for certificate chains."""
+
+import pytest
+
+from repro.x509 import CertificateChain, ChainOrderError
+from repro.x509.chain import chain_fingerprint, find_common_parent_chains, validate_order
+
+
+class TestChainBasics:
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            CertificateChain(())
+
+    def test_depth_and_iteration(self, lets_encrypt_long_chain):
+        assert lets_encrypt_long_chain.depth == 3
+        assert len(list(lets_encrypt_long_chain)) == 3
+
+    def test_leaf_and_intermediates(self, lets_encrypt_long_chain):
+        assert lets_encrypt_long_chain.leaf.subject_common_name == "fixture-le.example"
+        assert len(lets_encrypt_long_chain.intermediates) == 2
+
+    def test_total_size_is_sum_of_certificates(self, cloudflare_chain):
+        assert cloudflare_chain.total_size == sum(c.size for c in cloudflare_chain)
+
+    def test_parent_chain_size_excludes_leaf(self, cloudflare_chain):
+        assert (
+            cloudflare_chain.parent_chain_size
+            == cloudflare_chain.total_size - cloudflare_chain.leaf_size
+        )
+
+    def test_exceeds(self, cloudflare_chain):
+        assert cloudflare_chain.exceeds(100)
+        assert not cloudflare_chain.exceeds(10**6)
+
+    def test_sizes_by_depth(self, lets_encrypt_long_chain):
+        sizes = lets_encrypt_long_chain.sizes_by_depth()
+        assert len(sizes) == 3
+        assert sizes[0] == lets_encrypt_long_chain.leaf_size
+
+    def test_with_leaf_swaps_only_leaf(self, cloudflare_chain, lets_encrypt_short_chain):
+        swapped = cloudflare_chain.with_leaf(lets_encrypt_short_chain.leaf)
+        assert swapped.leaf is lets_encrypt_short_chain.leaf
+        assert swapped.intermediates == cloudflare_chain.intermediates
+
+
+class TestChainHygiene:
+    def test_issued_chains_are_correctly_ordered(self, lets_encrypt_long_chain, cloudflare_chain):
+        assert lets_encrypt_long_chain.is_correctly_ordered()
+        assert cloudflare_chain.is_correctly_ordered()
+
+    def test_shuffled_chain_detected_as_misordered(self, lets_encrypt_long_chain):
+        certificates = lets_encrypt_long_chain.certificates
+        shuffled = CertificateChain((certificates[1], certificates[0], certificates[2]))
+        assert not shuffled.is_correctly_ordered()
+        with pytest.raises(ChainOrderError):
+            validate_order(shuffled.certificates)
+
+    def test_includes_trust_anchor_detection(self, hierarchy):
+        with_root = hierarchy.profiles["Google 1C3"].issue("anchor.example")
+        without_root = hierarchy.profiles["Cloudflare ECC CA-3"].issue("anchor2.example")
+        assert with_root.includes_trust_anchor()
+        assert not without_root.includes_trust_anchor()
+
+    def test_cross_signed_detection(self, hierarchy):
+        cross = hierarchy.profiles["Let's Encrypt R3 + cross-signed X1"].issue("c.example")
+        plain = hierarchy.profiles["Let's Encrypt R3 (short)"].issue("p.example")
+        assert cross.includes_cross_signed()
+        assert not plain.includes_cross_signed()
+
+
+class TestParentChainGrouping:
+    def test_parent_chain_key_distinguishes_cross_signed_root(self, hierarchy):
+        cross = hierarchy.profiles["Let's Encrypt R3 + cross-signed X1"].issue("a.example")
+        with_root = hierarchy.profiles["Let's Encrypt R3 + root X1"].issue("b.example")
+        assert cross.parent_chain_key() != with_root.parent_chain_key()
+        assert any("cross-signed" in label for label in cross.parent_chain_key())
+
+    def test_parent_chain_key_for_depth_two(self, cloudflare_chain):
+        assert cloudflare_chain.parent_chain_key() == ("Cloudflare Inc ECC CA-3",)
+
+    def test_parent_chain_label_joins_names(self, lets_encrypt_long_chain):
+        assert " / " in lets_encrypt_long_chain.parent_chain_label()
+
+    def test_find_common_parent_chains_counts(self, hierarchy):
+        chains = [
+            hierarchy.profiles["Cloudflare ECC CA-3"].issue(f"d{i}.example") for i in range(5)
+        ] + [hierarchy.profiles["Let's Encrypt E1 (short)"].issue("e.example")]
+        ranked = find_common_parent_chains(chains, top_n=2)
+        assert ranked[0][0] == ("Cloudflare Inc ECC CA-3",)
+        assert ranked[0][1] == 5
+
+    def test_chain_fingerprint_distinguishes_chains(self, cloudflare_chain, lets_encrypt_long_chain):
+        assert chain_fingerprint(cloudflare_chain) != chain_fingerprint(lets_encrypt_long_chain)
+        assert chain_fingerprint(cloudflare_chain) == chain_fingerprint(cloudflare_chain)
