@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Profile the benchmark measurement campaign under cProfile.
+
+Runs the same 2,500-domain campaign as ``benchmarks/conftest.py`` (sweep
+enabled) plus the full report, and prints the top cumulative entries so perf
+PRs can ship before/after evidence gathered the same way.
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_campaign.py [--size 2500] [--top 25]
+                                                      [--sort cumulative|tottime]
+                                                      [--skip-report]
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+import time
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=2500, help="population size")
+    parser.add_argument("--seed", type=int, default=2022, help="population seed")
+    parser.add_argument("--top", type=int, default=25, help="profile rows to print")
+    parser.add_argument(
+        "--sort", choices=("cumulative", "tottime"), default="cumulative"
+    )
+    parser.add_argument(
+        "--skip-report", action="store_true", help="profile the campaign only"
+    )
+    args = parser.parse_args()
+
+    from repro.analysis.report import build_report
+    from repro.scanners.orchestrator import MeasurementCampaign
+    from repro.webpki.population import PopulationConfig, generate_population
+
+    t0 = time.perf_counter()
+    population = generate_population(PopulationConfig(size=args.size, seed=args.seed))
+    t1 = time.perf_counter()
+    campaign = MeasurementCampaign(
+        population=population,
+        run_sweep=True,
+        sweep_sample_size=250,
+        spoofed_targets_per_provider=40,
+    )
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    results = campaign.run()
+    t2 = time.perf_counter()
+    if not args.skip_report:
+        build_report(results)
+    profiler.disable()
+    t3 = time.perf_counter()
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort).print_stats(args.top)
+
+    print(f"population generation: {t1 - t0:6.2f} s  ({args.size} domains, seed {args.seed})")
+    print(f"campaign (sweep on):   {t2 - t1:6.2f} s")
+    if not args.skip_report:
+        print(f"report:                {t3 - t2:6.2f} s")
+    info = results.flight_cache
+    if info is not None:
+        print(
+            f"flight-plan cache:     {info.hits} hits / {info.misses} misses "
+            f"({info.hit_rate:.1%} hit rate, {info.currsize} entries)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -96,7 +96,13 @@ def encode_boolean(value: bool) -> bytes:
 def decode_boolean(content: bytes) -> bool:
     if len(content) != 1:
         raise Asn1Error("BOOLEAN content must be a single octet")
-    return content != b"\x00"
+    # DER (X.690 §11.1) allows exactly 0x00 for FALSE and 0xFF for TRUE; the
+    # BER laxity of "any nonzero octet is TRUE" must be rejected.
+    if content == b"\x00":
+        return False
+    if content == b"\xff":
+        return True
+    raise Asn1Error(f"BOOLEAN content must be 0x00 or 0xFF, got 0x{content[0]:02x}")
 
 
 def encode_integer(value: int) -> bytes:
@@ -105,18 +111,15 @@ def encode_integer(value: int) -> bytes:
     Certificate serial numbers and RSA moduli are encoded through this path,
     so the minimal-octets rule matters for getting sizes right.
     """
-    if value == 0:
-        return encode_tlv(Tag.INTEGER, b"\x00")
-    negative = value < 0
-    magnitude = -value if negative else value
-    num_bytes = (magnitude.bit_length() + 7) // 8
-    raw = value.to_bytes(num_bytes + 1, "big", signed=True)
-    # Strip redundant leading octets while preserving the sign bit.
-    while len(raw) > 1 and (
-        (raw[0] == 0x00 and raw[1] < 0x80) or (raw[0] == 0xFF and raw[1] >= 0x80)
-    ):
-        raw = raw[1:]
-    return encode_tlv(Tag.INTEGER, raw)
+    # ``int.to_bytes(..., signed=True)`` at the minimal byte count is already
+    # the canonical two's-complement encoding.  A value needs one byte per 8
+    # magnitude bits plus room for the sign bit; negative values gain that room
+    # at -(2^(8n-1)), hence the -value-1 bit length.
+    if value >= 0:
+        num_bytes = value.bit_length() // 8 + 1
+    else:
+        num_bytes = (-value - 1).bit_length() // 8 + 1
+    return encode_tlv(Tag.INTEGER, value.to_bytes(num_bytes, "big", signed=True))
 
 
 def decode_integer(content: bytes) -> int:

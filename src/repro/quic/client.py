@@ -10,6 +10,7 @@ between 1200 and 1472 bytes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Optional, Tuple
 
 from ..tls.cert_compression import CertificateCompressionAlgorithm
@@ -60,11 +61,32 @@ def build_client_initial_datagram(
     token: bytes = b"",
     packet_number: int = 0,
 ) -> UdpDatagram:
-    """Build the client's first flight: one Initial padded to the target size."""
-    client_hello = ClientHello(
-        server_name=domain,
-        compression_algorithms=config.compression_algorithms,
-    )
+    """Build the client's first flight: one Initial padded to the target size.
+
+    The datagram is a pure function of its arguments and immutable, so repeated
+    probes of the same service (the Initial-size sweep alone revisits every
+    domain dozens of times) share one memoized instance.
+    """
+    return _build_client_initial_datagram(domain, config, token, packet_number)
+
+
+@lru_cache(maxsize=65_536)
+def _client_hello(
+    domain: str, compression_algorithms: Tuple[CertificateCompressionAlgorithm, ...]
+) -> ClientHello:
+    """One ClientHello per (domain, offer): its encoding is independent of the
+    Initial size, so the sweep shares it across all padding targets."""
+    return ClientHello(server_name=domain, compression_algorithms=compression_algorithms)
+
+
+@lru_cache(maxsize=32_768)
+def _build_client_initial_datagram(
+    domain: str,
+    config: QuicClientConfig,
+    token: bytes,
+    packet_number: int,
+) -> UdpDatagram:
+    client_hello = _client_hello(domain, config.compression_algorithms)
     crypto = CryptoFrame(offset=0, data=client_hello.encode())
     destination = ConnectionId.generate(f"dcid:{domain}", config.connection_id_length)
     source = ConnectionId.generate(f"scid:client:{domain}", config.connection_id_length)
@@ -91,10 +113,24 @@ def build_client_second_flight(
 
     Receiving any of these proves the round trip and validates the client's
     address at the server.  Sizes are small; they only matter for completeness
-    of the byte accounting in traces.
+    of the byte accounting in traces.  Memoized like the first flight.
     """
-    destination = ConnectionId.generate(f"dcid:{domain}", config.connection_id_length)
-    source = ConnectionId.generate(f"scid:client:{domain}", config.connection_id_length)
+    # Keyed on the connection-ID length alone: the second flight's content is
+    # independent of the Initial size, so the sweep shares one instance.
+    return _build_client_second_flight(
+        domain, config.connection_id_length, server_initial_packets, server_handshake_packets
+    )
+
+
+@lru_cache(maxsize=32_768)
+def _build_client_second_flight(
+    domain: str,
+    connection_id_length: int,
+    server_initial_packets: int,
+    server_handshake_packets: int,
+) -> Tuple[UdpDatagram, ...]:
+    destination = ConnectionId.generate(f"dcid:{domain}", connection_id_length)
+    source = ConnectionId.generate(f"scid:client:{domain}", connection_id_length)
     initial_ack = InitialPacket(
         destination_cid=destination,
         source_cid=source,

@@ -9,6 +9,7 @@ which wastes anti-amplification budget (the Cloudflare finding, §4.1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Iterable, List, Sequence, Tuple
 
 from .packet import PacketType, QuicPacket
@@ -16,7 +17,11 @@ from .packet import PacketType, QuicPacket
 
 @dataclass(frozen=True)
 class UdpDatagram:
-    """One UDP datagram carrying one or more coalesced QUIC packets."""
+    """One UDP datagram carrying one or more coalesced QUIC packets.
+
+    Datagrams are immutable, so the per-datagram aggregates are computed once
+    and cached on the instance.
+    """
 
     packets: Tuple[QuicPacket, ...]
 
@@ -24,7 +29,7 @@ class UdpDatagram:
         if not self.packets:
             raise ValueError("a datagram must carry at least one packet")
 
-    @property
+    @cached_property
     def size(self) -> int:
         """UDP payload size in bytes."""
         return sum(packet.size for packet in self.packets)
@@ -37,15 +42,15 @@ class UdpDatagram:
     def is_coalesced(self) -> bool:
         return len(self.packets) > 1
 
-    @property
+    @cached_property
     def padding_bytes(self) -> int:
         return sum(packet.padding_bytes for packet in self.packets)
 
-    @property
+    @cached_property
     def contains_initial(self) -> bool:
         return any(p.packet_type is PacketType.INITIAL for p in self.packets)
 
-    @property
+    @cached_property
     def is_ack_eliciting(self) -> bool:
         return any(p.is_ack_eliciting for p in self.packets)
 

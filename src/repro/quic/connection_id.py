@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+from functools import lru_cache
 
 
 @dataclass(frozen=True)
@@ -19,10 +20,7 @@ class ConnectionId:
     @classmethod
     def generate(cls, seed: str, length: int = 8) -> "ConnectionId":
         """Deterministically derive a connection ID from a seed string."""
-        if not 0 <= length <= 20:
-            raise ValueError("connection ID length must be within 0..20")
-        digest = hashlib.sha256(seed.encode()).digest()
-        return cls(digest[:length])
+        return _generate(seed, length)
 
     @classmethod
     def empty(cls) -> "ConnectionId":
@@ -36,3 +34,11 @@ class ConnectionId:
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.hex() or "(empty)"
+
+
+@lru_cache(maxsize=65_536)
+def _generate(seed: str, length: int) -> ConnectionId:
+    if not 0 <= length <= 20:
+        raise ValueError("connection ID length must be within 0..20")
+    digest = hashlib.sha256(seed.encode()).digest()
+    return ConnectionId(digest[:length])

@@ -4,9 +4,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import IntEnum
+from functools import cached_property
 from typing import Tuple
 
-from .varint import encode_varint
+from .varint import encode_varint, varint_size
 
 
 class FrameType(IntEnum):
@@ -26,9 +27,13 @@ class Frame:
     def encode(self) -> bytes:  # pragma: no cover - abstract
         raise NotImplementedError
 
-    @property
-    def size(self) -> int:
+    def _wire_size(self) -> int:
+        """Arithmetic wire size; must equal ``len(self.encode())``."""
         return len(self.encode())
+
+    @cached_property
+    def size(self) -> int:
+        return self._wire_size()
 
     @property
     def is_ack_eliciting(self) -> bool:
@@ -49,6 +54,9 @@ class PaddingFrame(Frame):
     def encode(self) -> bytes:
         return bytes(self.length)
 
+    def _wire_size(self) -> int:
+        return self.length
+
     @property
     def is_ack_eliciting(self) -> bool:
         return False
@@ -58,6 +66,9 @@ class PaddingFrame(Frame):
 class PingFrame(Frame):
     def encode(self) -> bytes:
         return bytes([FrameType.PING])
+
+    def _wire_size(self) -> int:
+        return 1
 
 
 @dataclass(frozen=True)
@@ -75,6 +86,15 @@ class AckFrame(Frame):
             + encode_varint(self.ack_delay)
             + encode_varint(0)  # ack range count
             + encode_varint(self.first_ack_range)
+        )
+
+    def _wire_size(self) -> int:
+        return (
+            1
+            + varint_size(self.largest_acknowledged)
+            + varint_size(self.ack_delay)
+            + 1  # ack range count (always zero here)
+            + varint_size(self.first_ack_range)
         )
 
     @property
@@ -97,6 +117,9 @@ class CryptoFrame(Frame):
             + self.data
         )
 
+    def _wire_size(self) -> int:
+        return 1 + varint_size(self.offset) + varint_size(len(self.data)) + len(self.data)
+
     @property
     def end_offset(self) -> int:
         return self.offset + len(self.data)
@@ -118,6 +141,16 @@ class ConnectionCloseFrame(Frame):
             + encode_varint(self.frame_type)
             + encode_varint(len(reason_bytes))
             + reason_bytes
+        )
+
+    def _wire_size(self) -> int:
+        reason_length = len(self.reason.encode("utf-8"))
+        return (
+            1
+            + varint_size(self.error_code)
+            + varint_size(self.frame_type)
+            + varint_size(reason_length)
+            + reason_length
         )
 
     @property

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from functools import cached_property
 from typing import Tuple
 
 from .connection_id import ConnectionId
@@ -50,8 +51,11 @@ class QuicPacket:
     token: bytes = b""
 
     # -- size computation -----------------------------------------------------
+    #
+    # Packets are immutable, so every size is computed once and cached on the
+    # instance; the arithmetic never builds the encoded byte strings.
 
-    @property
+    @cached_property
     def payload_size(self) -> int:
         """Sum of encoded frame sizes (before AEAD expansion)."""
         return sum(frame.size for frame in self.frames)
@@ -68,6 +72,10 @@ class QuicPacket:
 
     def header_size(self) -> int:
         """Bytes of the (long or short) header for this packet."""
+        return self._header_size
+
+    @cached_property
+    def _header_size(self) -> int:
         if self.packet_type is PacketType.ONE_RTT:
             return 1 + len(self.destination_cid) + self.packet_number_length
         size = 1 + 4  # first byte + version
@@ -83,14 +91,14 @@ class QuicPacket:
         size += self.packet_number_length
         return size
 
-    @property
+    @cached_property
     def size(self) -> int:
         """Total encoded packet size including AEAD expansion."""
         if self.packet_type is PacketType.RETRY:
-            return self.header_size()
-        return self.header_size() + self.payload_size + AEAD_TAG_SIZE
+            return self._header_size
+        return self._header_size + self.payload_size + AEAD_TAG_SIZE
 
-    @property
+    @cached_property
     def is_ack_eliciting(self) -> bool:
         return any(frame.is_ack_eliciting for frame in self.frames)
 
@@ -123,7 +131,7 @@ class QuicPacket:
             candidate = padded_with(deficit - overshoot)
         return candidate
 
-    @property
+    @cached_property
     def padding_bytes(self) -> int:
         return sum(frame.size for frame in self.frames if isinstance(frame, PaddingFrame))
 

@@ -11,8 +11,9 @@ is validated.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..tls.handshake_messages import ClientHello, ServerFirstFlight, build_server_first_flight
 from ..x509.chain import CertificateChain
@@ -30,6 +31,97 @@ from .packet import (
     RetryPacket,
 )
 from .profiles import CoalescenceMode, RetryPolicy, ServerBehaviorProfile
+
+
+@dataclass(frozen=True)
+class FlightCacheInfo:
+    """Counters of a :class:`FlightPlanCache`, ``functools.lru_cache`` style."""
+
+    hits: int
+    misses: int
+    currsize: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class FlightPlanCache:
+    """LRU memo of built server first flights.
+
+    Building a flight is the expensive part of a handshake simulation: the TLS
+    messages (including a real DEFLATE pass for RFC 8879 compression), the
+    packetisation and the datagram padding.  All of it is a pure function of
+    ``(domain, behavior profile, chain fingerprint, client compression offer)``
+    — the client's Initial size only moves the first-RTT/deferred split, which
+    is recomputed per call so one cached flight serves every Initial size of
+    the sweep.  The domain is part of the key because connection IDs (and the
+    Retry token) are derived from it, keeping cached plans byte-identical to
+    freshly built ones.
+
+    The default bound is sized for the reuse pattern, not the population: the
+    Initial-size sweep revisits a sampled working set (2,000 targets by
+    default), so a few thousand resident flights capture all the locality
+    while keeping worst-case memory in the tens of MB even for million-domain
+    campaigns (entries are multi-KB flight plans).
+    """
+
+    def __init__(self, maxsize: int = 8_192) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[tuple, Tuple[ServerFirstFlight, Tuple[UdpDatagram, ...]]]" = (
+            OrderedDict()
+        )
+        self._hits = 0
+        self._misses = 0
+
+    def get_or_build(
+        self,
+        key: tuple,
+        build: Callable[[], Tuple[ServerFirstFlight, Tuple[UdpDatagram, ...]]],
+    ) -> Tuple[ServerFirstFlight, Tuple[UdpDatagram, ...]]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self._misses += 1
+        entry = build()
+        self._entries[key] = entry
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return entry
+
+    def cache_info(self) -> FlightCacheInfo:
+        return FlightCacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            currsize=len(self._entries),
+            maxsize=self.maxsize,
+        )
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._hits = 0
+        self._misses = 0
+
+
+#: Process-wide cache shared by all :class:`QuicServer` instances (servers are
+#: created per simulated handshake, so the cache must outlive them).
+_SHARED_FLIGHT_CACHE = FlightPlanCache()
+
+
+def flight_plan_cache_info() -> FlightCacheInfo:
+    """Counters of the shared flight-plan cache."""
+    return _SHARED_FLIGHT_CACHE.cache_info()
+
+
+def reset_flight_plan_cache() -> None:
+    """Drop all shared cache entries and reset the counters."""
+    _SHARED_FLIGHT_CACHE.clear()
 
 
 @dataclass(frozen=True)
@@ -92,11 +184,13 @@ class QuicServer:
         domain: str,
         chain: CertificateChain,
         profile: ServerBehaviorProfile,
+        flight_cache: Optional[FlightPlanCache] = None,
     ) -> None:
         self.domain = domain
         self.chain = chain
         self.profile = profile
         self._scid = ConnectionId.generate(f"scid:server:{domain}", 8)
+        self._flight_cache = _SHARED_FLIGHT_CACHE if flight_cache is None else flight_cache
 
     # -- public API ------------------------------------------------------------
 
@@ -122,11 +216,7 @@ class QuicServer:
         if self.profile.retry_policy is RetryPolicy.ALWAYS and not client_sent_retry_token:
             retry = self._build_retry()
             tracker.on_datagram_sent(retry.size)
-            flight = build_server_first_flight(
-                self.chain,
-                client_hello,
-                server_compression_algorithms=self.profile.compression_algorithms,
-            )
+            flight, _ = self._cached_flight(client_hello)
             return ServerFlightPlan(
                 retry_datagram=retry,
                 first_rtt_datagrams=(),
@@ -138,12 +228,7 @@ class QuicServer:
             # A valid Retry token validates the address immediately.
             tracker.on_address_validated()
 
-        flight = build_server_first_flight(
-            self.chain,
-            client_hello,
-            server_compression_algorithms=self.profile.compression_algorithms,
-        )
-        datagrams = self._build_datagrams(client_hello, flight)
+        flight, datagrams = self._cached_flight(client_hello)
         first_rtt, deferred = self._apply_amplification_limit(datagrams, tracker)
         return ServerFlightPlan(
             retry_datagram=None,
@@ -203,6 +288,32 @@ class QuicServer:
         return plan, schedule
 
     # -- internals --------------------------------------------------------------
+
+    def _cached_flight(
+        self, client_hello: ClientHello
+    ) -> Tuple[ServerFirstFlight, Tuple[UdpDatagram, ...]]:
+        """The TLS flight and padded datagrams, memoized in the flight cache.
+
+        The returned objects are immutable and shared between plans; per-call
+        state (the amplification tracker and the first-RTT/deferred split) is
+        always computed fresh.
+        """
+        key = (
+            self.domain,
+            self.profile,
+            self.chain.fingerprint,
+            client_hello.compression_algorithms,
+        )
+
+        def build() -> Tuple[ServerFirstFlight, Tuple[UdpDatagram, ...]]:
+            flight = build_server_first_flight(
+                self.chain,
+                client_hello,
+                server_compression_algorithms=self.profile.compression_algorithms,
+            )
+            return flight, tuple(self._build_datagrams(client_hello, flight))
+
+        return self._flight_cache.get_or_build(key, build)
 
     def _build_retry(self) -> UdpDatagram:
         token = b"retry-token:" + self.domain.encode("ascii")[:32]

@@ -11,15 +11,20 @@ class VarintError(ValueError):
 
 MAX_VARINT = (1 << 62) - 1
 
+#: Precomputed sizes for every value below 2**14.  Frame lengths, CRYPTO
+#: offsets and packet lengths almost always fall in this range, so the hot
+#: path of :func:`varint_size` is a single bytes-object index.
+_SIZE_TABLE = bytes(1 if value < 1 << 6 else 2 for value in range(1 << 14))
+
+_PREFIX_BY_SIZE = {1: 0x00, 2: 0x40, 4: 0x80, 8: 0xC0}
+
 
 def varint_size(value: int) -> int:
     """Number of bytes the varint encoding of ``value`` occupies."""
+    if 0 <= value < 1 << 14:
+        return _SIZE_TABLE[value]
     if value < 0 or value > MAX_VARINT:
         raise VarintError(f"value out of varint range: {value}")
-    if value < 1 << 6:
-        return 1
-    if value < 1 << 14:
-        return 2
     if value < 1 << 30:
         return 4
     return 8
@@ -28,9 +33,8 @@ def varint_size(value: int) -> int:
 def encode_varint(value: int) -> bytes:
     """Encode ``value`` using the shortest form (as required for DER-like minimality)."""
     size = varint_size(value)
-    prefix = {1: 0x00, 2: 0x40, 4: 0x80, 8: 0xC0}[size]
     encoded = value.to_bytes(size, "big")
-    return bytes([encoded[0] | prefix]) + encoded[1:]
+    return bytes([encoded[0] | _PREFIX_BY_SIZE[size]]) + encoded[1:]
 
 
 def decode_varint(data: bytes, offset: int = 0) -> Tuple[int, int]:

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..netsim.address import IPv4Prefix
 from ..netsim.network import UdpNetwork
 from ..netsim.telescope import Telescope
+from ..quic.server import FlightCacheInfo, flight_plan_cache_info
 from ..webpki.deployment import DomainDeployment, ServiceCategory
 from ..webpki.population import (
     InternetPopulation,
@@ -63,6 +64,8 @@ class CampaignResults:
     meta_probe_before: List[ZmapProbeResult]
     meta_probe_after: List[ZmapProbeResult]
     analysis_initial_size: int = DEFAULT_ANALYSIS_INITIAL_SIZE
+    #: Flight-plan cache counters accumulated while this campaign ran.
+    flight_cache: Optional[FlightCacheInfo] = None
 
     # -- convenience accessors used by the figure modules ----------------------
 
@@ -99,6 +102,7 @@ class MeasurementCampaign:
     # -- pipeline ---------------------------------------------------------------
 
     def run(self) -> CampaignResults:
+        cache_before = flight_plan_cache_info()
         population = self.population
         resolver = population.build_resolver()
         origins = population.build_origins()
@@ -151,6 +155,14 @@ class MeasurementCampaign:
         meta_probe_before = self._probe_meta_pop(patched=False)
         meta_probe_after = self._probe_meta_pop(patched=True)
 
+        cache_after = flight_plan_cache_info()
+        flight_cache = FlightCacheInfo(
+            hits=cache_after.hits - cache_before.hits,
+            misses=cache_after.misses - cache_before.misses,
+            currsize=cache_after.currsize,
+            maxsize=cache_after.maxsize,
+        )
+
         return CampaignResults(
             population=population,
             https_scan=https_scan,
@@ -162,6 +174,7 @@ class MeasurementCampaign:
             backscatter=backscatter,
             meta_probe_before=meta_probe_before,
             meta_probe_after=meta_probe_after,
+            flight_cache=flight_cache,
         )
 
     # -- helpers -----------------------------------------------------------------

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import IntEnum
+from functools import cached_property
 from typing import Optional, Sequence, Tuple
 
 from ..x509.chain import CertificateChain
@@ -52,7 +53,11 @@ def _handshake_frame(message_type: HandshakeType, body: bytes) -> bytes:
 
 @dataclass(frozen=True)
 class HandshakeMessage:
-    """Base class: concrete messages provide ``body()``."""
+    """Base class: concrete messages provide ``body()``.
+
+    Messages are immutable, so the wire encoding (and therefore the size) is
+    computed once and cached on the instance.
+    """
 
     def body(self) -> bytes:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -62,11 +67,15 @@ class HandshakeMessage:
         raise NotImplementedError
 
     def encode(self) -> bytes:
+        return self._encoded
+
+    @cached_property
+    def _encoded(self) -> bytes:
         return _handshake_frame(self.message_type, self.body())
 
-    @property
+    @cached_property
     def size(self) -> int:
-        return len(self.encode())
+        return len(self._encoded)
 
 
 @dataclass(frozen=True)
@@ -194,13 +203,16 @@ class CompressedCertificateMessage(HandshakeMessage):
 
     chain: CertificateChain
     algorithm: CertificateCompressionAlgorithm
-    _result: Optional[CompressionResult] = field(default=None, compare=False)
 
     @property
     def message_type(self) -> HandshakeType:
         return HandshakeType.COMPRESSED_CERTIFICATE
 
     def compression_result(self) -> CompressionResult:
+        return self._compression_result
+
+    @cached_property
+    def _compression_result(self) -> CompressionResult:
         return compress_certificate_chain([c.der for c in self.chain], self.algorithm)
 
     def body(self) -> bytes:

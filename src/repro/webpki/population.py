@@ -91,10 +91,22 @@ class InternetPopulation:
     tranco: TrancoList
     deployments: List[DomainDeployment]
     _by_domain: Dict[str, DomainDeployment] = field(default_factory=dict)
+    _by_category: Dict[ServiceCategory, Tuple[DomainDeployment, ...]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self._by_domain:
             self._by_domain = {d.domain: d for d in self.deployments}
+        if not self._by_category:
+            # Precomputed once so the figure modules' repeated category lookups
+            # stop scanning the full deployment list.
+            buckets: Dict[ServiceCategory, List[DomainDeployment]] = {
+                category: [] for category in ServiceCategory
+            }
+            for deployment in self.deployments:
+                buckets[deployment.category].append(deployment)
+            self._by_category = {
+                category: tuple(members) for category, members in buckets.items()
+            }
 
     # -- lookups ---------------------------------------------------------------
 
@@ -105,7 +117,7 @@ class InternetPopulation:
         return len(self.deployments)
 
     def by_category(self, category: ServiceCategory) -> List[DomainDeployment]:
-        return [d for d in self.deployments if d.category is category]
+        return list(self._by_category.get(category, ()))
 
     def quic_services(self) -> List[DomainDeployment]:
         return self.by_category(ServiceCategory.QUIC)
@@ -114,10 +126,10 @@ class InternetPopulation:
         return self.by_category(ServiceCategory.HTTPS_ONLY)
 
     def category_counts(self) -> Dict[ServiceCategory, int]:
-        counts: Dict[ServiceCategory, int] = {category: 0 for category in ServiceCategory}
-        for deployment in self.deployments:
-            counts[deployment.category] += 1
-        return counts
+        return {
+            category: len(self._by_category.get(category, ()))
+            for category in ServiceCategory
+        }
 
     # -- materialising the simulated network -----------------------------------
 

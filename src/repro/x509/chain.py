@@ -9,6 +9,7 @@ cross-signed certificates — all of which this module can represent and detect.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from .certificate import Certificate
@@ -55,10 +56,20 @@ class CertificateChain:
 
     # -- sizes ---------------------------------------------------------------
 
-    @property
+    @cached_property
     def total_size(self) -> int:
         """Sum of DER sizes of all delivered certificates."""
         return sum(cert.size for cert in self.certificates)
+
+    @cached_property
+    def fingerprint(self) -> str:
+        """SHA-256 over the concatenated DER encodings (cached; chains are immutable)."""
+        import hashlib
+
+        digest = hashlib.sha256()
+        for cert in self.certificates:
+            digest.update(cert.der)
+        return digest.hexdigest()
 
     @property
     def leaf_size(self) -> int:
@@ -156,12 +167,7 @@ def validate_order(chain: Sequence[Certificate]) -> None:
 
 def chain_fingerprint(chain: CertificateChain) -> str:
     """Stable identity for deduplicating identical delivered chains."""
-    import hashlib
-
-    digest = hashlib.sha256()
-    for cert in chain:
-        digest.update(cert.der)
-    return digest.hexdigest()
+    return chain.fingerprint
 
 
 def find_common_parent_chains(

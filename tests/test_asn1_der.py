@@ -86,6 +86,23 @@ class TestInteger:
         # 255 encodes as 00 FF (two octets), not 00 00 FF.
         assert encode_integer(255) == b"\x02\x02\x00\xff"
 
+    @pytest.mark.parametrize(
+        "value, content",
+        [
+            (-129, b"\xff\x7f"),
+            (-128, b"\x80"),
+            (0, b"\x00"),
+            (127, b"\x7f"),
+            (128, b"\x00\x80"),
+        ],
+    )
+    def test_boundary_values_canonical_and_roundtrip(self, value, content):
+        encoded = encode_integer(value)
+        tag, decoded_content, _ = decode_tlv(encoded)
+        assert tag == Tag.INTEGER
+        assert decoded_content == content
+        assert decode_integer(decoded_content) == value
+
     def test_decode_empty_rejected(self):
         with pytest.raises(Asn1Error):
             decode_integer(b"")
@@ -104,6 +121,12 @@ class TestBoolean:
     def test_decode_wrong_length(self):
         with pytest.raises(Asn1Error):
             decode_boolean(b"\xff\xff")
+
+    @pytest.mark.parametrize("octet", [0x01, 0x7F, 0x80, 0xFE])
+    def test_der_rejects_nonstandard_true_octets(self, octet):
+        # BER accepts any nonzero octet as TRUE; DER (X.690 §11.1) does not.
+        with pytest.raises(Asn1Error):
+            decode_boolean(bytes([octet]))
 
 
 class TestBitString:
