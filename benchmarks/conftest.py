@@ -8,6 +8,8 @@ minute while keeping every distribution statistically meaningful.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.scanners.orchestrator import CampaignResults, MeasurementCampaign
@@ -15,6 +17,14 @@ from repro.webpki.population import InternetPopulation, PopulationConfig, genera
 
 #: Population size used by the benchmark harness.
 BENCH_POPULATION_SIZE = 2500
+
+#: Worker processes for the shared campaign fixture.  Unset (the tier-1/CI
+#: default) keeps the single-process serial path; the sharded runner merges to
+#: byte-identical results, so setting it only changes wall time.
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0")) or None
+
+#: Deployments per scan shard when the sharded runner is active.
+BENCH_SHARD_SIZE = int(os.environ.get("REPRO_BENCH_SHARD_SIZE", "0")) or None
 
 
 @pytest.fixture(scope="session")
@@ -29,5 +39,7 @@ def campaign_results(population: InternetPopulation) -> CampaignResults:
         run_sweep=True,
         sweep_sample_size=250,
         spoofed_targets_per_provider=40,
+        workers=BENCH_WORKERS,
+        shard_size=BENCH_SHARD_SIZE,
     )
     return campaign.run()

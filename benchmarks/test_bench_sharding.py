@@ -1,0 +1,74 @@
+"""Benchmark: 1-vs-N-worker wall time of the sharded campaign runner.
+
+Measures the full per-domain pipeline (stages 1–4 plus the parent-side
+telescope stage) over a 20k population — the ROADMAP's reference scale — once
+single-process and once with ``REPRO_BENCH_SHARDING_WORKERS`` processes.  Both
+variants produce byte-identical results (tests/test_sharding.py asserts it);
+this benchmark only compares wall time.
+
+On single-core machines the multi-process variant is expected to *lose*: the
+per-domain compute serialises anyway and the worker→parent result transfer is
+added overhead.  The win appears with real cores; see docs/PERFORMANCE.md for
+the methodology and reference numbers.
+
+Knobs (environment):
+  REPRO_BENCH_SHARDING_SIZE     population size (default 20000)
+  REPRO_BENCH_SHARDING_WORKERS  worker count of the N-worker variant (default 2)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.scanners.orchestrator import MeasurementCampaign
+from repro.webpki.population import PopulationConfig, generate_population
+
+SHARDING_BENCH_SIZE = int(os.environ.get("REPRO_BENCH_SHARDING_SIZE", "20000"))
+SHARDING_BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_SHARDING_WORKERS", "2"))
+
+
+@pytest.fixture(scope="module")
+def sharding_population():
+    return generate_population(PopulationConfig(size=SHARDING_BENCH_SIZE, seed=2022))
+
+
+def _run_campaign(population, workers: int) -> None:
+    MeasurementCampaign(
+        population=population,
+        run_sweep=False,
+        spoofed_targets_per_provider=40,
+        workers=workers,
+    ).run()
+
+
+@pytest.mark.benchmark(group="sharding")
+def test_bench_campaign_one_worker(benchmark, sharding_population):
+    benchmark.pedantic(
+        _run_campaign, args=(sharding_population, 1), rounds=1, iterations=1
+    )
+
+
+@pytest.mark.benchmark(group="sharding")
+def test_bench_campaign_n_workers(benchmark, sharding_population):
+    benchmark.pedantic(
+        _run_campaign,
+        args=(sharding_population, SHARDING_BENCH_WORKERS),
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="sharding")
+def test_bench_streaming_population_generation(benchmark):
+    """Streaming generation throughput (the 100k–1M ingest path)."""
+    from repro.webpki.population import iter_population_shards
+
+    def consume() -> int:
+        total = 0
+        for shard in iter_population_shards(PopulationConfig(size=4096, seed=7)):
+            total += len(shard)
+        return total
+
+    assert benchmark.pedantic(consume, rounds=1, iterations=1) == 4096

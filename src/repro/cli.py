@@ -41,6 +41,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--export-dir", type=str, default=None,
         help="also export the report and per-figure CSV data series to this directory",
     )
+    campaign.add_argument(
+        "--workers", type=int, default=None,
+        help="scan shards in this many worker processes (default: single-process serial)",
+    )
+    campaign.add_argument(
+        "--shard-size", type=int, default=None,
+        help="deployments per scan shard (default: 2048; implies the sharded runner)",
+    )
 
     predict = subparsers.add_parser("predict", help="predict the handshake class for a chain profile")
     predict.add_argument("--chain", required=True, help="CA chain profile label (see 'profiles')")
@@ -54,7 +62,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _run_campaign(args: argparse.Namespace) -> int:
     population = generate_population(PopulationConfig(size=args.size, seed=args.seed))
-    results = MeasurementCampaign(population=population, run_sweep=args.sweep).run()
+    results = MeasurementCampaign(
+        population=population,
+        run_sweep=args.sweep,
+        workers=args.workers,
+        shard_size=args.shard_size,
+    ).run()
     report = build_report(results, include_sweep=args.sweep)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Tuple
 from ..quic.client import QuicClientConfig, build_client_initial_datagram
 from ..quic.handshake import UnvalidatedProbeResult, simulate_unvalidated_probe
 from ..quic.profiles import ServerBehaviorProfile
-from ..quic.server import QuicServer
+from ..quic.server import FlightPlanCache, QuicServer
 from ..tls.handshake_messages import ClientHello
 from ..x509.chain import CertificateChain
 from .address import IPv4Address, IPv4Prefix
@@ -40,6 +40,11 @@ class QuicServiceHost:
     encapsulation_overhead: int = 0
     path_mtu: int = 1500
     udp_ip_header_bytes: int = 28
+    #: Flight-plan cache the host's server uses; ``None`` means the
+    #: process-wide shared cache.  Deterministic runners (the sharded
+    #: campaign) inject their own so cache counters don't depend on what else
+    #: the process has simulated.
+    flight_cache: Optional[FlightPlanCache] = None
 
     def max_acceptable_initial(self) -> int:
         return self.path_mtu - self.udp_ip_header_bytes - self.encapsulation_overhead
@@ -48,7 +53,7 @@ class QuicServiceHost:
         return initial_size <= self.max_acceptable_initial()
 
     def server(self) -> QuicServer:
-        return QuicServer(self.domain, self.chain, self.profile)
+        return QuicServer(self.domain, self.chain, self.profile, flight_cache=self.flight_cache)
 
 
 @dataclass(frozen=True)
@@ -63,14 +68,17 @@ class DeliveryResult:
 class UdpNetwork:
     """Registry of QUIC service hosts plus telescopes observing dark space."""
 
-    def __init__(self) -> None:
+    def __init__(self, flight_cache: Optional[FlightPlanCache] = None) -> None:
         self._hosts: Dict[int, QuicServiceHost] = {}
         self._hosts_by_domain: Dict[str, QuicServiceHost] = {}
         self._telescopes: List[Tuple[IPv4Prefix, Telescope]] = []
+        self._flight_cache = flight_cache
 
     # -- topology --------------------------------------------------------------
 
     def attach_host(self, host: QuicServiceHost) -> None:
+        if host.flight_cache is None and self._flight_cache is not None:
+            host.flight_cache = self._flight_cache
         self._hosts[host.address.value] = host
         self._hosts_by_domain[host.domain.lower()] = host
 

@@ -22,7 +22,7 @@ from ..x509.chain import CertificateChain
 from .anti_amplification import ANTI_AMPLIFICATION_FACTOR
 from .client import QuicClientConfig, build_client_initial_datagram, build_client_second_flight
 from .profiles import ServerBehaviorProfile
-from .server import QuicServer, ServerFlightPlan
+from .server import FlightPlanCache, QuicServer, ServerFlightPlan
 
 
 class HandshakeClass(Enum):
@@ -129,14 +129,20 @@ def simulate_handshake(
     chain: CertificateChain,
     profile: ServerBehaviorProfile,
     client: Optional[QuicClientConfig] = None,
+    flight_cache: Optional[FlightPlanCache] = None,
 ) -> HandshakeOutcome:
-    """Simulate a complete handshake (client responds and validates its address)."""
+    """Simulate a complete handshake (client responds and validates its address).
+
+    ``flight_cache`` overrides the process-wide flight-plan cache; sharded
+    campaign workers pass their own so per-shard cache counters stay
+    independent of how shards are spread over processes.
+    """
     client = client or QuicClientConfig()
     initial = build_client_initial_datagram(domain, client)
     client_hello = ClientHello(
         server_name=domain, compression_algorithms=client.compression_algorithms
     )
-    server = QuicServer(domain, chain, profile)
+    server = QuicServer(domain, chain, profile, flight_cache=flight_cache)
 
     plan = server.respond_to_initial(client_hello, client_initial_size=initial.size)
     if plan.uses_retry:

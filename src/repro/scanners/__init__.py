@@ -14,7 +14,9 @@ One module per tool in the paper's Figure 10 pipeline:
   host of a prefix (zmap equivalent),
 * :mod:`repro.scanners.backscatter` — step 4.1: telescope backscatter analysis,
 * :mod:`repro.scanners.orchestrator` — step 5: runs the full campaign and
-  merges the per-tool outputs into one results bundle for the analysis layer.
+  merges the per-tool outputs into one results bundle for the analysis layer,
+* :mod:`repro.scanners.sharding` — sharded, multi-process execution of the
+  per-domain stages with deterministic merging.
 """
 
 from .https_scanner import HttpsScanner, HttpsScanResult, CertificateRecord, ScanFunnel
@@ -24,8 +26,28 @@ from .compression_scanner import CompressionScanner, CompressionObservation
 from .zmap import ZmapScanner, ZmapProbeResult
 from .backscatter import BackscatterAnalyzer, ProviderBackscatter, simulate_spoofed_campaign
 from .orchestrator import MeasurementCampaign, CampaignResults
+from .sharding import (
+    DEFAULT_SHARD_SIZE,
+    MergedScanResults,
+    ShardScanResult,
+    ShardSpec,
+    ShardTask,
+    merge_shard_results,
+    plan_shards,
+    run_sharded_scan,
+    scan_shard,
+)
 
 __all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "MergedScanResults",
+    "ShardScanResult",
+    "ShardSpec",
+    "ShardTask",
+    "merge_shard_results",
+    "plan_shards",
+    "run_sharded_scan",
+    "scan_shard",
     "HttpsScanner",
     "HttpsScanResult",
     "CertificateRecord",

@@ -21,14 +21,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..netsim.address import IPv4Prefix
 from ..netsim.network import UdpNetwork
 from ..netsim.telescope import Telescope
-from ..quic.server import FlightCacheInfo, flight_plan_cache_info
+from ..quic.server import FlightCacheInfo, FlightPlanCache, flight_plan_cache_info
 from ..webpki.deployment import DomainDeployment, ServiceCategory
 from ..webpki.population import (
     InternetPopulation,
     PopulationConfig,
     build_meta_point_of_presence,
+    build_network_for,
     generate_population,
 )
+from .sharding import DEFAULT_SHARD_SIZE, global_sweep_sample, run_sharded_scan
 from .backscatter import BackscatterAnalyzer, ProviderBackscatter, simulate_spoofed_campaign
 from .compression_scanner import CompressionObservation, CompressionScanner
 from .https_scanner import HttpsScanner, HttpsScanResult
@@ -84,7 +86,18 @@ class CampaignResults:
 
 
 class MeasurementCampaign:
-    """Configures and runs the full measurement pipeline."""
+    """Configures and runs the full measurement pipeline.
+
+    ``workers``/``shard_size`` switch the per-domain stages (1–4) onto the
+    sharded runner of :mod:`repro.scanners.sharding`: the population is cut
+    into rank-contiguous shards that are scanned independently — across
+    ``workers`` processes when ``workers > 1`` — and merged back into results
+    identical for every worker count.  Both default to ``None``, which keeps
+    the single-process serial path (the tier-1/CI default).  The
+    telescope/ZMap stage (5) always runs in the parent process: it is cheap,
+    global (spoof-target selection scans the whole population) and identical
+    either way.
+    """
 
     def __init__(
         self,
@@ -93,15 +106,24 @@ class MeasurementCampaign:
         run_sweep: bool = False,
         sweep_sample_size: Optional[int] = 2000,
         spoofed_targets_per_provider: int = 60,
+        workers: Optional[int] = None,
+        shard_size: Optional[int] = None,
     ) -> None:
         self.population = population or generate_population(population_config)
         self.run_sweep = run_sweep
         self.sweep_sample_size = sweep_sample_size
         self.spoofed_targets_per_provider = spoofed_targets_per_provider
+        self.workers = workers
+        self.shard_size = shard_size
 
     # -- pipeline ---------------------------------------------------------------
 
     def run(self) -> CampaignResults:
+        if self.workers is not None or self.shard_size is not None:
+            return self._run_sharded()
+        return self._run_serial()
+
+    def _run_serial(self) -> CampaignResults:
         cache_before = flight_plan_cache_info()
         population = self.population
         resolver = population.build_resolver()
@@ -123,12 +145,16 @@ class MeasurementCampaign:
         handshakes = quicreach.scan_many(targets, DEFAULT_ANALYSIS_INITIAL_SIZE)
 
         # 2b. Optional full Initial-size sweep (Figure 3); sampled for speed.
+        # The sample comes from the same helper the sharded runner routes
+        # through, so serial and sharded runs sweep identical targets.
         sweep: Optional[SweepResult] = None
         if self.run_sweep:
-            sample = targets
-            if self.sweep_sample_size is not None and len(targets) > self.sweep_sample_size:
-                stride = max(1, len(targets) // self.sweep_sample_size)
-                sample = targets[::stride]
+            sample = [
+                target
+                for _, target in global_sweep_sample(
+                    population.deployments, self.sweep_sample_size
+                )
+            ]
             sweep = InitialSizeSweep(quicreach).run(sample)
 
         # 3. Certificates over QUIC and comparison with HTTPS.
@@ -142,18 +168,10 @@ class MeasurementCampaign:
         compression_scanner = CompressionScanner(network)
         compression = compression_scanner.scan_many(quic_domains)
 
-        # 5a. Spoofed handshakes observed at the telescope.
-        telescope = Telescope()
-        network.attach_telescope(TELESCOPE_PREFIX, telescope)
-        spoof_targets = self._pick_spoof_targets(network)
-        simulate_spoofed_campaign(network, spoof_targets, TELESCOPE_PREFIX)
-        analyzer = BackscatterAnalyzer(telescope, self._provider_of_domain)
-        backscatter = analyzer.analyze()
-
-        # 5b. ZMap-style scan of the Meta point of presence, before and after
-        # the responsible disclosure.
-        meta_probe_before = self._probe_meta_pop(patched=False)
-        meta_probe_after = self._probe_meta_pop(patched=True)
+        # 5. Incomplete handshakes: telescope backscatter and the Meta PoP.
+        backscatter, meta_probe_before, meta_probe_after = (
+            self._run_incomplete_handshake_stage(network)
+        )
 
         cache_after = flight_plan_cache_info()
         flight_cache = FlightCacheInfo(
@@ -176,6 +194,69 @@ class MeasurementCampaign:
             meta_probe_after=meta_probe_after,
             flight_cache=flight_cache,
         )
+
+    def _run_sharded(self) -> CampaignResults:
+        population = self.population
+
+        # Stages 1–4 fan out over rank-contiguous shards (each worker warms
+        # its own flight-plan cache) and merge deterministically.  Explicit
+        # zeros pass through so run_sharded_scan/plan_shards reject them.
+        merged = run_sharded_scan(
+            population,
+            workers=self.workers if self.workers is not None else 1,
+            shard_size=self.shard_size if self.shard_size is not None else DEFAULT_SHARD_SIZE,
+            analysis_initial_size=DEFAULT_ANALYSIS_INITIAL_SIZE,
+            run_sweep=self.run_sweep,
+            sweep_sample_size=self.sweep_sample_size,
+        )
+
+        # Stage 5 runs in the parent over the full fabric, exactly as serially
+        # — but against its own fresh flight-plan cache, so the final counters
+        # are a pure function of the campaign (not of whatever else this
+        # process simulated before).
+        stage5_cache = FlightPlanCache()
+        network = build_network_for(population.deployments, flight_cache=stage5_cache)
+        backscatter, meta_probe_before, meta_probe_after = (
+            self._run_incomplete_handshake_stage(network, flight_cache=stage5_cache)
+        )
+
+        stage5_info = stage5_cache.cache_info()
+        flight_cache = FlightCacheInfo(
+            hits=merged.flight_cache.hits + stage5_info.hits,
+            misses=merged.flight_cache.misses + stage5_info.misses,
+            currsize=merged.flight_cache.currsize + stage5_info.currsize,
+            maxsize=max(merged.flight_cache.maxsize, stage5_info.maxsize),
+        )
+
+        return CampaignResults(
+            population=population,
+            https_scan=merged.https_scan,
+            handshakes=merged.handshakes,
+            sweep=merged.sweep,
+            quic_certificates=merged.quic_certificates,
+            certificate_comparison=merged.certificate_comparison,
+            compression=merged.compression,
+            backscatter=backscatter,
+            meta_probe_before=meta_probe_before,
+            meta_probe_after=meta_probe_after,
+            flight_cache=flight_cache,
+        )
+
+    def _run_incomplete_handshake_stage(self, network: UdpNetwork, flight_cache=None):
+        """Stage 5: spoofed-source campaign plus the Meta PoP probes."""
+        # 5a. Spoofed handshakes observed at the telescope.
+        telescope = Telescope()
+        network.attach_telescope(TELESCOPE_PREFIX, telescope)
+        spoof_targets = self._pick_spoof_targets(network)
+        simulate_spoofed_campaign(network, spoof_targets, TELESCOPE_PREFIX)
+        analyzer = BackscatterAnalyzer(telescope, self._provider_of_domain)
+        backscatter = analyzer.analyze()
+
+        # 5b. ZMap-style scan of the Meta point of presence, before and after
+        # the responsible disclosure.
+        meta_probe_before = self._probe_meta_pop(patched=False, flight_cache=flight_cache)
+        meta_probe_after = self._probe_meta_pop(patched=True, flight_cache=flight_cache)
+        return backscatter, meta_probe_before, meta_probe_after
 
     # -- helpers -----------------------------------------------------------------
 
@@ -212,8 +293,8 @@ class MeasurementCampaign:
             _ = meta_network  # the hosts live in the main network
         return targets
 
-    def _probe_meta_pop(self, patched: bool) -> List[ZmapProbeResult]:
-        network = UdpNetwork()
+    def _probe_meta_pop(self, patched: bool, flight_cache=None) -> List[ZmapProbeResult]:
+        network = UdpNetwork(flight_cache=flight_cache)
         for host in build_meta_point_of_presence(patched=patched, prefix=META_POP_PREFIX):
             network.attach_host(host)
         scanner = ZmapScanner(network)

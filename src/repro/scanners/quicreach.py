@@ -14,6 +14,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..netsim.network import QuicServiceHost, UdpNetwork
 from ..quic.client import QuicClientConfig
 from ..quic.handshake import HandshakeClass, HandshakeOutcome, simulate_handshake
+from ..quic.server import FlightPlanCache
 from ..tls.cert_compression import CertificateCompressionAlgorithm
 
 #: The Initial sizes of the paper's sweep: 1200..1472 in steps of 10 (the last
@@ -79,11 +80,19 @@ class SweepResult:
 class QuicReach:
     """The handshake classification scanner."""
 
-    def __init__(self, network: UdpNetwork, pause_between_scans_s: float = 1800.0) -> None:
+    def __init__(
+        self,
+        network: UdpNetwork,
+        pause_between_scans_s: float = 1800.0,
+        flight_cache: Optional[FlightPlanCache] = None,
+    ) -> None:
         """``pause_between_scans_s`` documents the paper's 30-minute pacing; it
-        is not simulated as wall-clock time but kept for fidelity of reports."""
+        is not simulated as wall-clock time but kept for fidelity of reports.
+        ``flight_cache`` replaces the process-wide flight-plan cache (sharded
+        campaign workers warm one per shard)."""
         self._network = network
         self.pause_between_scans_s = pause_between_scans_s
+        self._flight_cache = flight_cache
 
     def scan_domain(
         self,
@@ -111,7 +120,9 @@ class QuicReach:
                 domain=domain, rank=rank, provider=provider,
                 initial_size=initial_size, reachable=False,
             )
-        outcome: HandshakeOutcome = simulate_handshake(domain, host.chain, host.profile, client)
+        outcome: HandshakeOutcome = simulate_handshake(
+            domain, host.chain, host.profile, client, flight_cache=self._flight_cache
+        )
         trace = outcome.trace
         return HandshakeObservation(
             domain=domain,

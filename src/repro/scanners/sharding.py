@@ -1,0 +1,457 @@
+"""Sharded, multi-process execution of the measurement pipeline.
+
+The per-domain stages of the campaign — HTTPS certificate collection, QUIC
+handshake classification, the Initial-size sweep, certificate fetches over
+QUIC and the compression scan — are embarrassingly parallel: every observation
+depends on exactly one deployment.  This module exploits that by cutting the
+population into deterministic, rank-contiguous :class:`ShardSpec` slices,
+scanning each shard independently (:func:`scan_shard`, optionally in
+``ProcessPoolExecutor`` workers), and merging the per-shard partial results
+back into exactly what a serial run produces (:func:`merge_shard_results`).
+
+Determinism rules, so ``workers=1`` and ``workers=N`` yield byte-identical
+campaign reports:
+
+* Shard boundaries depend only on the population size and ``shard_size`` —
+  never on the worker count — so the same shards exist however many processes
+  execute them.
+* Each shard is scanned against a fabric built from its own deployments with a
+  *fresh* :class:`~repro.quic.server.FlightPlanCache`; cache counters are a
+  pure function of the shard, not of which worker it landed on.
+* Merging concatenates observations in shard (= rank) order; the sweep is
+  re-interleaved Initial-size-major, matching the serial sweep's iteration
+  order.  Funnel counters add up; unique-chain counts merge as set unions.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..quic.server import FlightCacheInfo, FlightPlanCache
+from ..webpki.deployment import DomainDeployment, ServiceCategory
+from ..webpki.population import (
+    InternetPopulation,
+    PopulationConfig,
+    build_network_for,
+    build_origins_for,
+    build_resolver_for,
+    deployments_for_range,
+)
+from ..webpki.tranco import generate_tranco_list
+from .compression_scanner import CompressionObservation, CompressionScanner
+from .https_scanner import CertificateRecord, HttpsScanner, HttpsScanResult, ScanFunnel
+from .qscanner import CertificateComparison, QScanner, QuicCertificateRecord
+from .quicreach import (
+    DEFAULT_ANALYSIS_INITIAL_SIZE,
+    SWEEP_INITIAL_SIZES,
+    HandshakeObservation,
+    InitialSizeSweep,
+    QuicReach,
+    SweepResult,
+)
+
+#: Deployments per scan shard.  A constant (not derived from the worker
+#: count!) so that shard boundaries — and therefore merged results — are
+#: identical no matter how many processes execute the shards.
+DEFAULT_SHARD_SIZE = 2048
+
+#: Sweep target type: (domain, rank, provider).
+ScanTarget = Tuple[str, int, Optional[str]]
+
+
+# ---------------------------------------------------------------------------
+# Shard planning
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """A half-open slice ``[start, stop)`` of the rank-ordered deployment list."""
+
+    index: int
+    start: int
+    stop: int
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+
+def plan_shards(total: int, shard_size: int = DEFAULT_SHARD_SIZE) -> Tuple[ShardSpec, ...]:
+    """Cut ``total`` deployments into rank-contiguous shards of ``shard_size``."""
+    if shard_size <= 0:
+        raise ValueError("shard_size must be positive")
+    if total < 0:
+        raise ValueError("total must not be negative")
+    return tuple(
+        ShardSpec(index=index, start=start, stop=min(start + shard_size, total))
+        for index, start in enumerate(range(0, total, shard_size))
+    )
+
+
+# ---------------------------------------------------------------------------
+# Per-shard scanning (runs inside worker processes)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything a worker needs to scan one shard, picklable as one unit.
+
+    The shard's deployments travel one of two ways: by value (``deployments``)
+    or by recipe (``population_config`` plus the ``[start, stop)`` index
+    range, regenerated in the worker via
+    :func:`~repro.webpki.population.deployments_for_range`).  The recipe form
+    keeps certificate chains out of the parent→worker pickle stream — for
+    populations from :func:`generate_population` both forms produce identical
+    deployments, so scan results do not depend on the transport.
+    """
+
+    index: int
+    deployments: Optional[Tuple[DomainDeployment, ...]] = None
+    population_config: Optional[PopulationConfig] = None
+    start: int = 0
+    stop: int = 0
+    #: Read the shard from the fork-inherited module global instead of
+    #: pickling or regenerating (see :data:`_FORK_SHARED_DEPLOYMENTS`).
+    use_fork_shared: bool = False
+    analysis_initial_size: int = DEFAULT_ANALYSIS_INITIAL_SIZE
+    run_sweep: bool = False
+    #: This shard's slice of the *globally* computed sweep sample.
+    sweep_targets: Tuple[ScanTarget, ...] = ()
+    sweep_initial_sizes: Tuple[int, ...] = SWEEP_INITIAL_SIZES
+
+    def resolve_deployments(self) -> Tuple[DomainDeployment, ...]:
+        if self.use_fork_shared:
+            if _FORK_SHARED_DEPLOYMENTS is None:
+                raise RuntimeError(
+                    "shard task expects fork-inherited deployments, but none are set "
+                    "in this process"
+                )
+            return tuple(_FORK_SHARED_DEPLOYMENTS[self.start : self.stop])
+        if self.deployments is not None:
+            return self.deployments
+        if self.population_config is None:
+            raise ValueError("shard task carries neither deployments nor a config")
+        tranco = _cached_tranco(self.population_config.size, self.population_config.seed)
+        return tuple(
+            deployments_for_range(self.population_config, self.start, self.stop, tranco=tranco)
+        )
+
+
+#: Per-process memo of the (names-only) ranked list, so a worker that scans
+#: several shards of the same population regenerates it once.
+_cached_tranco = lru_cache(maxsize=4)(generate_tranco_list)
+
+#: Deployment list published for fork-started workers.  Set by
+#: :func:`run_sharded_scan` immediately before the pool forks; child processes
+#: inherit it copy-on-write, so neither certificate chains nor regeneration
+#: work ever crosses the parent→worker boundary.
+_FORK_SHARED_DEPLOYMENTS: Optional[Sequence[DomainDeployment]] = None
+
+
+@dataclass(frozen=True)
+class ShardScanResult:
+    """Partial results of stages 1–4 over one shard."""
+
+    index: int
+    funnel: ScanFunnel
+    https_records: Tuple[CertificateRecord, ...]
+    handshakes: Tuple[HandshakeObservation, ...]
+    #: Sweep observations, Initial-size-major within the shard.
+    sweep_observations: Tuple[HandshakeObservation, ...]
+    quic_certificates: Tuple[QuicCertificateRecord, ...]
+    comparison: CertificateComparison
+    compression: Tuple[CompressionObservation, ...]
+    flight_cache: FlightCacheInfo
+
+
+def scan_shard(task: ShardTask) -> ShardScanResult:
+    """Run pipeline stages 1–4 over one shard.
+
+    Module-level (not a closure or method) so ``ProcessPoolExecutor`` can
+    pickle it; the worker builds the shard's own resolver/origins/network and
+    warms its own flight-plan cache.
+    """
+    cache = FlightPlanCache()
+    deployments = task.resolve_deployments()
+
+    # 1. HTTPS certificate collection over this shard's names.
+    https_scanner = HttpsScanner(
+        build_resolver_for(deployments), build_origins_for(deployments)
+    )
+    https_scan = https_scanner.scan([(d.domain, d.rank) for d in deployments])
+
+    # 2. QUIC handshake classification at the analysis Initial size.
+    network = build_network_for(deployments)
+    quicreach = QuicReach(network, flight_cache=cache)
+    targets: List[ScanTarget] = [
+        (d.domain, d.rank, d.provider)
+        for d in deployments
+        if d.category is ServiceCategory.QUIC
+    ]
+    handshakes = quicreach.scan_many(targets, task.analysis_initial_size)
+
+    # 2b. This shard's part of the Initial-size sweep.
+    sweep_observations: Tuple[HandshakeObservation, ...] = ()
+    if task.run_sweep and task.sweep_targets:
+        sweep = InitialSizeSweep(quicreach, task.sweep_initial_sizes)
+        sweep_observations = sweep.run(list(task.sweep_targets)).observations
+
+    # 3. Certificates over QUIC and the QUIC-vs-HTTPS comparison.  Both sides
+    # of every compared pair live in the same shard, so per-shard counters sum
+    # to the global comparison.
+    qscanner = QScanner(network)
+    quic_domains = [domain for domain, _, _ in targets]
+    quic_certificates = qscanner.fetch_many(quic_domains)
+    comparison = qscanner.compare_with_https(
+        quic_certificates, https_scan.chains_by_requested_domain()
+    )
+
+    # 4. Certificate-compression support.
+    compression = CompressionScanner(network).scan_many(quic_domains)
+
+    return ShardScanResult(
+        index=task.index,
+        funnel=https_scan.funnel,
+        https_records=https_scan.records,
+        handshakes=tuple(handshakes),
+        sweep_observations=sweep_observations,
+        quic_certificates=tuple(quic_certificates),
+        comparison=comparison,
+        compression=tuple(compression),
+        flight_cache=cache.cache_info(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Merging
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MergedScanResults:
+    """Stages 1–4 merged back into the serial pipeline's output shapes."""
+
+    https_scan: HttpsScanResult
+    handshakes: List[HandshakeObservation]
+    sweep: Optional[SweepResult]
+    quic_certificates: List[QuicCertificateRecord]
+    certificate_comparison: CertificateComparison
+    compression: List[CompressionObservation]
+    flight_cache: FlightCacheInfo
+
+
+def merge_shard_results(
+    shards: Sequence[ShardScanResult],
+    run_sweep: bool = False,
+    sweep_initial_sizes: Sequence[int] = SWEEP_INITIAL_SIZES,
+) -> MergedScanResults:
+    """Merge per-shard partials into the exact serial-run result.
+
+    ``shards`` must be in shard-index (= rank) order; concatenation then
+    reproduces the serial per-deployment iteration order, and the sweep is
+    re-interleaved Initial-size-major exactly like
+    :class:`~repro.scanners.quicreach.InitialSizeSweep` iterates.
+    """
+    ordered = sorted(shards, key=lambda shard: shard.index)
+
+    funnel = ScanFunnel()
+    fingerprints: set = set()
+    records: List[CertificateRecord] = []
+    handshakes: List[HandshakeObservation] = []
+    quic_certificates: List[QuicCertificateRecord] = []
+    compression: List[CompressionObservation] = []
+    total_compared = identical = 0
+    cache_hits = cache_misses = cache_currsize = cache_maxsize = 0
+
+    for shard in ordered:
+        for name, value in shard.funnel.as_dict().items():
+            if name == "unique_certificate_chains":
+                continue
+            setattr(funnel, name, getattr(funnel, name) + value)
+        # Chains shared across shards must count once: union the fingerprints
+        # (cached on the chains by the shard's own scan) rather than summing
+        # the per-shard unique counts.
+        fingerprints.update(record.fingerprint for record in shard.https_records)
+        records.extend(shard.https_records)
+        handshakes.extend(shard.handshakes)
+        quic_certificates.extend(shard.quic_certificates)
+        compression.extend(shard.compression)
+        total_compared += shard.comparison.total_compared
+        identical += shard.comparison.identical
+        cache_hits += shard.flight_cache.hits
+        cache_misses += shard.flight_cache.misses
+        cache_currsize += shard.flight_cache.currsize
+        # maxsize is a per-cache bound, not a counter: report the largest
+        # bound in play rather than a meaningless sum over shards.
+        cache_maxsize = max(cache_maxsize, shard.flight_cache.maxsize)
+    funnel.unique_certificate_chains = len(fingerprints)
+
+    sweep: Optional[SweepResult] = None
+    if run_sweep:
+        by_size: Dict[int, List[HandshakeObservation]] = {
+            size: [] for size in sweep_initial_sizes
+        }
+        for shard in ordered:
+            for observation in shard.sweep_observations:
+                by_size[observation.initial_size].append(observation)
+        sweep = SweepResult(
+            observations=tuple(
+                observation
+                for size in sweep_initial_sizes
+                for observation in by_size[size]
+            )
+        )
+
+    return MergedScanResults(
+        https_scan=HttpsScanResult(funnel=funnel, records=tuple(records)),
+        handshakes=handshakes,
+        sweep=sweep,
+        quic_certificates=quic_certificates,
+        certificate_comparison=CertificateComparison(
+            total_compared=total_compared,
+            identical=identical,
+            different=total_compared - identical,
+        ),
+        compression=compression,
+        flight_cache=FlightCacheInfo(
+            hits=cache_hits,
+            misses=cache_misses,
+            currsize=cache_currsize,
+            maxsize=cache_maxsize,
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Driving a full sharded scan
+# ---------------------------------------------------------------------------
+
+def global_sweep_sample(
+    deployments: Sequence[DomainDeployment],
+    sweep_sample_size: Optional[int],
+) -> List[Tuple[int, ScanTarget]]:
+    """The sweep sample over the whole population, with deployment indices.
+
+    This is the one place the sweep's sampling stride lives: the serial
+    orchestrator and the sharded runner both call it, so they cannot drift
+    apart.  Returns ``(deployment_index, target)`` pairs — the index (not the
+    rank, which hand-assembled populations may renumber or reorder) is what
+    routes a sampled target to the scan shard that owns it.
+    """
+    indexed: List[Tuple[int, ScanTarget]] = [
+        (index, (d.domain, d.rank, d.provider))
+        for index, d in enumerate(deployments)
+        if d.category is ServiceCategory.QUIC
+    ]
+    if sweep_sample_size is not None and len(indexed) > sweep_sample_size:
+        stride = max(1, len(indexed) // sweep_sample_size)
+        indexed = indexed[::stride]
+    return indexed
+
+
+def build_shard_tasks(
+    deployments: Sequence[DomainDeployment],
+    shard_size: int = DEFAULT_SHARD_SIZE,
+    analysis_initial_size: int = DEFAULT_ANALYSIS_INITIAL_SIZE,
+    run_sweep: bool = False,
+    sweep_sample_size: Optional[int] = 2000,
+    sweep_initial_sizes: Sequence[int] = SWEEP_INITIAL_SIZES,
+    regenerate_config: Optional[PopulationConfig] = None,
+    use_fork_shared: bool = False,
+) -> List[ShardTask]:
+    """Plan shards over rank-ordered ``deployments`` and package their tasks.
+
+    The sweep sample is chosen over the *whole* population first (the stride
+    depends on the global QUIC-target count) and then routed to the shard that
+    owns each sampled rank.  With ``use_fork_shared`` or ``regenerate_config``
+    set, tasks carry only the index range instead of the deployments
+    themselves (see :class:`ShardTask`).
+    """
+    specs = plan_shards(len(deployments), shard_size)
+    sweep_by_shard: Dict[int, List[ScanTarget]] = {spec.index: [] for spec in specs}
+    if run_sweep:
+        for deployment_index, target in global_sweep_sample(deployments, sweep_sample_size):
+            sweep_by_shard[deployment_index // shard_size].append(target)
+    ship_by_value = not use_fork_shared and regenerate_config is None
+    return [
+        ShardTask(
+            index=spec.index,
+            deployments=(
+                tuple(deployments[spec.start : spec.stop]) if ship_by_value else None
+            ),
+            population_config=None if use_fork_shared else regenerate_config,
+            start=spec.start,
+            stop=spec.stop,
+            use_fork_shared=use_fork_shared,
+            analysis_initial_size=analysis_initial_size,
+            run_sweep=run_sweep,
+            sweep_targets=tuple(sweep_by_shard[spec.index]),
+            sweep_initial_sizes=tuple(sweep_initial_sizes),
+        )
+        for spec in specs
+    ]
+
+
+def run_sharded_scan(
+    population: InternetPopulation,
+    workers: int = 1,
+    shard_size: int = DEFAULT_SHARD_SIZE,
+    analysis_initial_size: int = DEFAULT_ANALYSIS_INITIAL_SIZE,
+    run_sweep: bool = False,
+    sweep_sample_size: Optional[int] = 2000,
+    sweep_initial_sizes: Sequence[int] = SWEEP_INITIAL_SIZES,
+) -> MergedScanResults:
+    """Run stages 1–4 over the population, sharded across ``workers`` processes.
+
+    ``workers=1`` executes the same shard tasks in-process (no pool), which is
+    both the bitwise reference for multi-process runs and the tier-1/CI
+    default.  The merged result does not depend on ``workers``.
+    """
+    if workers <= 0:
+        raise ValueError("workers must be positive")
+    multiprocess = workers > 1 and len(population.deployments) > shard_size
+    # How shard deployments reach the workers, cheapest first:
+    #  * fork start method: publish the list in a module global right before
+    #    the pool forks; children inherit it copy-on-write, zero transfer,
+    #  * spawn/forkserver + regenerable population: ship (config, range) and
+    #    regenerate in the worker (parallel, no chains over the pipe),
+    #  * otherwise: pickle the deployments into the task.
+    fork_available = multiprocess and "fork" in multiprocessing.get_all_start_methods()
+    regenerate_config = (
+        population.config
+        if multiprocess
+        and not fork_available
+        and getattr(population, "_shard_regenerable", False)
+        else None
+    )
+    tasks = build_shard_tasks(
+        population.deployments,
+        shard_size=shard_size,
+        analysis_initial_size=analysis_initial_size,
+        run_sweep=run_sweep,
+        sweep_sample_size=sweep_sample_size,
+        sweep_initial_sizes=sweep_initial_sizes,
+        regenerate_config=regenerate_config,
+        use_fork_shared=fork_available,
+    )
+    if not multiprocess:
+        partials = [scan_shard(task) for task in tasks]
+    elif fork_available:
+        global _FORK_SHARED_DEPLOYMENTS
+        _FORK_SHARED_DEPLOYMENTS = population.deployments
+        try:
+            context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(tasks)), mp_context=context
+            ) as pool:
+                partials = list(pool.map(scan_shard, tasks))
+        finally:
+            _FORK_SHARED_DEPLOYMENTS = None
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+            partials = list(pool.map(scan_shard, tasks))
+    return merge_shard_results(
+        partials, run_sweep=run_sweep, sweep_initial_sizes=sweep_initial_sizes
+    )

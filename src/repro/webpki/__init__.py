@@ -20,7 +20,16 @@ from .providers import (
     sample_san_count,
 )
 from .deployment import DomainDeployment, ServiceCategory
-from .population import InternetPopulation, PopulationConfig, generate_population
+from .population import (
+    GENERATION_SHARD_SIZE,
+    InternetPopulation,
+    PopulationConfig,
+    PopulationShard,
+    deployments_for_range,
+    generate_population,
+    generate_shard,
+    iter_population_shards,
+)
 
 __all__ = [
     "TrancoList",
@@ -33,7 +42,12 @@ __all__ = [
     "sample_san_count",
     "DomainDeployment",
     "ServiceCategory",
+    "GENERATION_SHARD_SIZE",
     "InternetPopulation",
     "PopulationConfig",
+    "PopulationShard",
+    "deployments_for_range",
     "generate_population",
+    "generate_shard",
+    "iter_population_shards",
 ]

@@ -5,13 +5,22 @@ deployments whose aggregate statistics match the paper's measurements (see
 DESIGN.md §5 for the calibration targets), and can materialise the simulated
 network (DNS zone, HTTP origins, QUIC hosts, telescope) the scanners run
 against.
+
+Generation is *sharded*: the ranked list is cut into rank-contiguous shards of
+:data:`GENERATION_SHARD_SIZE` domains, and every shard is generated from its
+own RNG derived from ``(seed, shard_index)``.  Shard ``i`` therefore depends
+on nothing but the config and ``i`` — shards can be generated in any order, in
+parallel worker processes, or streamed one at a time
+(:func:`iter_population_shards`) without ever materialising the full
+deployment list, and the result is always identical to the eager
+:func:`generate_population` path.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..netsim.address import IPv4Address, IPv4Prefix
 from ..netsim.dns import DnsRcode, SimulatedResolver
@@ -134,61 +143,109 @@ class InternetPopulation:
     # -- materialising the simulated network -----------------------------------
 
     def build_resolver(self) -> SimulatedResolver:
-        resolver = SimulatedResolver()
-        for deployment in self.deployments:
-            if deployment.dns_rcode is not DnsRcode.NOERROR:
-                resolver.add_failure(deployment.domain, deployment.dns_rcode)
-            elif deployment.address is None:
-                resolver.add_no_address(deployment.domain)
-            else:
-                resolver.add_record(deployment.domain, deployment.address)
-                # Redirect targets (www.<domain>) resolve to the same address.
-                if deployment.redirect_to:
-                    resolver.add_record(deployment.redirect_to, deployment.address)
-        return resolver
+        return build_resolver_for(self.deployments)
 
     def build_origins(self) -> Dict[str, HttpOrigin]:
-        origins: Dict[str, HttpOrigin] = {}
-        for deployment in self.deployments:
-            if not deployment.resolves:
-                continue
-            chain = deployment.https_chain
-            redirect_kind = RedirectKind.NONE
-            redirect_target = None
-            if deployment.redirect_to and chain is not None:
-                redirect_kind = RedirectKind.HTTP_301
-                redirect_target = f"https://{deployment.redirect_to}/"
-                origins[deployment.redirect_to] = HttpOrigin(
-                    domain=deployment.redirect_to, https_chain=chain
-                )
-            origins[deployment.domain] = HttpOrigin(
-                domain=deployment.domain,
-                https_chain=chain,
-                redirect_kind=redirect_kind,
-                redirect_target=redirect_target,
-            )
-        return origins
+        return build_origins_for(self.deployments)
 
     def build_network(self) -> UdpNetwork:
-        network = UdpNetwork()
-        for deployment in self.deployments:
-            if not deployment.supports_quic or deployment.address is None:
-                continue
-            network.attach_host(
-                QuicServiceHost(
-                    address=deployment.address,
-                    domain=deployment.domain,
-                    chain=deployment.quic_chain,
-                    profile=deployment.server_behavior,
-                    encapsulation_overhead=deployment.encapsulation_overhead,
-                )
+        return build_network_for(self.deployments)
+
+
+# ---------------------------------------------------------------------------
+# Materialising the simulated network for any deployment subset
+# ---------------------------------------------------------------------------
+#
+# Module-level so per-shard workers can build a resolver/origins/network for
+# just their slice of the population.  Deployments are self-contained (the
+# only cross-domain reference, ``redirect_to``, always points at
+# ``www.<domain>`` of the same deployment), so building for a subset yields
+# exactly the sub-fabric the subset's scanners need.
+
+def build_resolver_for(deployments: Iterable[DomainDeployment]) -> SimulatedResolver:
+    resolver = SimulatedResolver()
+    for deployment in deployments:
+        if deployment.dns_rcode is not DnsRcode.NOERROR:
+            resolver.add_failure(deployment.domain, deployment.dns_rcode)
+        elif deployment.address is None:
+            resolver.add_no_address(deployment.domain)
+        else:
+            resolver.add_record(deployment.domain, deployment.address)
+            # Redirect targets (www.<domain>) resolve to the same address.
+            if deployment.redirect_to:
+                resolver.add_record(deployment.redirect_to, deployment.address)
+    return resolver
+
+
+def build_origins_for(deployments: Iterable[DomainDeployment]) -> Dict[str, HttpOrigin]:
+    origins: Dict[str, HttpOrigin] = {}
+    for deployment in deployments:
+        if not deployment.resolves:
+            continue
+        chain = deployment.https_chain
+        redirect_kind = RedirectKind.NONE
+        redirect_target = None
+        if deployment.redirect_to and chain is not None:
+            redirect_kind = RedirectKind.HTTP_301
+            redirect_target = f"https://{deployment.redirect_to}/"
+            origins[deployment.redirect_to] = HttpOrigin(
+                domain=deployment.redirect_to, https_chain=chain
             )
-        return network
+        origins[deployment.domain] = HttpOrigin(
+            domain=deployment.domain,
+            https_chain=chain,
+            redirect_kind=redirect_kind,
+            redirect_target=redirect_target,
+        )
+    return origins
+
+
+def build_network_for(deployments: Iterable[DomainDeployment], flight_cache=None) -> UdpNetwork:
+    network = UdpNetwork(flight_cache=flight_cache)
+    for deployment in deployments:
+        if not deployment.supports_quic or deployment.address is None:
+            continue
+        network.attach_host(
+            QuicServiceHost(
+                address=deployment.address,
+                domain=deployment.domain,
+                chain=deployment.quic_chain,
+                profile=deployment.server_behavior,
+                encapsulation_overhead=deployment.encapsulation_overhead,
+            )
+        )
+    return network
 
 
 # ---------------------------------------------------------------------------
 # Generation
 # ---------------------------------------------------------------------------
+
+#: Number of consecutive ranks generated per shard.  This is a *generation*
+#: constant, not a tuning knob: the RNG of shard ``i`` is derived from
+#: ``(seed, i)`` and the shard covers ranks ``[i * SIZE + 1, (i+1) * SIZE]``,
+#: so changing it changes which population a seed denotes.  Scan-time sharding
+#: (``repro.scanners.sharding``) chunks the generated deployments however it
+#: likes and is unaffected.
+GENERATION_SHARD_SIZE = 1024
+
+
+@dataclass(frozen=True)
+class PopulationShard:
+    """One rank-contiguous slice of the generated population."""
+
+    index: int
+    start_rank: int
+    deployments: Tuple[DomainDeployment, ...]
+
+    @property
+    def end_rank(self) -> int:
+        """Rank of the last deployment (inclusive)."""
+        return self.start_rank + len(self.deployments) - 1
+
+    def __len__(self) -> int:
+        return len(self.deployments)
+
 
 def _dns_outcome(rng: random.Random, config: PopulationConfig) -> Tuple[DnsRcode, bool]:
     """Return (rcode, has_a_record)."""
@@ -261,15 +318,28 @@ def _bloat_chain(rng: random.Random, chain: CertificateChain) -> CertificateChai
     return CertificateChain(chain.certificates + tuple(extra))
 
 
-def generate_population(config: Optional[PopulationConfig] = None) -> InternetPopulation:
-    """Generate the full synthetic population deterministically."""
-    config = config or PopulationConfig()
-    rng = random.Random(f"population:{config.seed}")
-    tranco = generate_tranco_list(config.size, seed=config.seed)
-    hierarchy = default_hierarchy()
+def _generate_shard_deployments(
+    config: PopulationConfig,
+    hierarchy,
+    domains: Sequence[str],
+    shard_index: int,
+    start_rank: int,
+) -> List[DomainDeployment]:
+    """Generate the deployments of one shard from its own derived RNG.
 
+    Everything random about the shard comes from ``(config.seed,
+    shard_index)``; the address allocator interleaves the per-provider host
+    indices of all shards (``local * shard_count + shard_index``) so shards
+    allocate globally unique, densely packed indices without coordinating.
+    """
+    rng = random.Random(f"population:{config.seed}:shard:{shard_index}")
     deployments: List[DomainDeployment] = []
     provider_host_counters: Dict[str, int] = {}
+    # Interleave stride: the total number of generation shards of this
+    # population.  Indices l*stride+i are globally unique (i < stride) and stay
+    # as dense as a single global counter, so even small provider prefixes
+    # (the Meta /24) only wrap when the provider genuinely runs out of space.
+    address_stride = max(1, -(-config.size // GENERATION_SHARD_SIZE))
 
     # Rank thresholds scale with the population so a 20k population behaves
     # like a proportionally scaled-down Tranco 1M list: the paper's "top 1k",
@@ -278,7 +348,8 @@ def generate_population(config: Optional[PopulationConfig] = None) -> InternetPo
     top_10k_equivalent = max(1, config.size // 100)
     top_100k_equivalent = max(1, config.size // 10)
 
-    for rank, domain in enumerate(tranco, start=1):
+    for offset, domain in enumerate(domains):
+        rank = start_rank + offset
         rcode, has_a = _dns_outcome(rng, config)
         if not has_a:
             deployments.append(
@@ -297,7 +368,9 @@ def generate_population(config: Optional[PopulationConfig] = None) -> InternetPo
             category = ServiceCategory.INSECURE
 
         if category is ServiceCategory.INSECURE:
-            address = _allocate_address(provider_host_counters, "https-only-hosting", rank)
+            address = _allocate_address(
+                provider_host_counters, "https-only-hosting", shard_index, address_stride
+            )
             deployments.append(
                 DomainDeployment(
                     domain=domain,
@@ -349,7 +422,7 @@ def generate_population(config: Optional[PopulationConfig] = None) -> InternetPo
             if rng.random() < tunnel_probability:
                 encapsulation_overhead = rng.choice((28, 36, 48, 60))
 
-        address = _allocate_address(provider_host_counters, provider.name, rank)
+        address = _allocate_address(provider_host_counters, provider.name, shard_index, address_stride)
         redirect_to = None
         if rng.random() < config.redirect_fraction:
             redirect_to = f"www.{domain}"
@@ -372,13 +445,107 @@ def generate_population(config: Optional[PopulationConfig] = None) -> InternetPo
             )
         )
 
-    return InternetPopulation(config=config, tranco=tranco, deployments=deployments)
+    return deployments
 
 
-def _allocate_address(counters: Dict[str, int], provider_name: str, rank: int) -> IPv4Address:
+def generate_shard(config: PopulationConfig, shard_index: int) -> PopulationShard:
+    """Generate a single shard, independent of every other shard.
+
+    Workers use this to rebuild exactly the slice of the population they are
+    responsible for without receiving (or generating) the rest.
+    """
+    start = shard_index * GENERATION_SHARD_SIZE
+    if not 0 <= start < config.size:
+        raise ValueError(f"shard index {shard_index} out of range for size {config.size}")
+    tranco = generate_tranco_list(config.size, seed=config.seed)
+    domains = tranco.domains[start : start + GENERATION_SHARD_SIZE]
+    deployments = _generate_shard_deployments(
+        config, default_hierarchy(), domains, shard_index, start + 1
+    )
+    return PopulationShard(index=shard_index, start_rank=start + 1, deployments=tuple(deployments))
+
+
+def iter_population_shards(
+    config: Optional[PopulationConfig] = None,
+    tranco: Optional[TrancoList] = None,
+) -> Iterator[PopulationShard]:
+    """Stream the population shard by shard, in rank order.
+
+    Only one shard's deployments (certificate chains included) are alive at a
+    time unless the caller keeps them, so 100k+ domain populations can be
+    consumed without holding the full deployment list in memory.  The
+    concatenation of all shards is exactly :func:`generate_population`'s
+    deployment list.
+    """
+    config = config or PopulationConfig()
+    tranco = tranco or generate_tranco_list(config.size, seed=config.seed)
+    hierarchy = default_hierarchy()
+    for shard_index, start in enumerate(range(0, config.size, GENERATION_SHARD_SIZE)):
+        domains = tranco.domains[start : start + GENERATION_SHARD_SIZE]
+        deployments = _generate_shard_deployments(
+            config, hierarchy, domains, shard_index, start + 1
+        )
+        yield PopulationShard(
+            index=shard_index, start_rank=start + 1, deployments=tuple(deployments)
+        )
+
+
+def deployments_for_range(
+    config: PopulationConfig,
+    start: int,
+    stop: int,
+    tranco: Optional[TrancoList] = None,
+) -> List[DomainDeployment]:
+    """Regenerate the deployments at list indices ``[start, stop)``.
+
+    Works for any range, aligned to generation shards or not: the covering
+    shards are regenerated from their ``(seed, shard_index)`` RNGs and sliced.
+    Scan-time workers use this to rebuild exactly their slice of a generated
+    population from ``(config, start, stop)`` instead of receiving the
+    deployments (with all their certificate chains) over IPC.
+    """
+    if not 0 <= start <= stop <= config.size:
+        raise ValueError(f"range [{start}, {stop}) out of bounds for size {config.size}")
+    tranco = tranco or generate_tranco_list(config.size, seed=config.seed)
+    hierarchy = default_hierarchy()
+    deployments: List[DomainDeployment] = []
+    first_shard = start // GENERATION_SHARD_SIZE
+    last_shard = max(first_shard, (stop - 1) // GENERATION_SHARD_SIZE) if stop > start else first_shard
+    for shard_index in range(first_shard, last_shard + 1):
+        shard_start = shard_index * GENERATION_SHARD_SIZE
+        domains = tranco.domains[shard_start : shard_start + GENERATION_SHARD_SIZE]
+        shard = _generate_shard_deployments(
+            config, hierarchy, domains, shard_index, shard_start + 1
+        )
+        deployments.extend(
+            shard[max(start - shard_start, 0) : max(stop - shard_start, 0)]
+        )
+    return deployments
+
+
+def generate_population(config: Optional[PopulationConfig] = None) -> InternetPopulation:
+    """Generate the full synthetic population deterministically (eager path)."""
+    config = config or PopulationConfig()
+    tranco = generate_tranco_list(config.size, seed=config.seed)
+    deployments: List[DomainDeployment] = []
+    for shard in iter_population_shards(config, tranco=tranco):
+        deployments.extend(shard.deployments)
+    population = InternetPopulation(config=config, tranco=tranco, deployments=deployments)
+    # Mark the instance as faithfully regenerable from its config: the sharded
+    # scan runner may then ship (config, range) to workers instead of the
+    # deployments themselves.  Hand-assembled populations lack the mark and
+    # always travel by value.
+    population._shard_regenerable = True
+    return population
+
+
+def _allocate_address(
+    counters: Dict[str, int], provider_name: str, shard_index: int, stride: int
+) -> IPv4Address:
     provider = PROVIDERS[provider_name]
-    index = counters.get(provider_name, 0)
-    counters[provider_name] = index + 1
+    local_index = counters.get(provider_name, 0)
+    counters[provider_name] = local_index + 1
+    index = local_index * stride + shard_index
     prefix = provider.prefix_for(index // 200)
     offset = index % min(prefix.num_addresses, 65_536)
     return prefix.address_at(offset)

@@ -1,4 +1,17 @@
-"""Per-field size accounting for certificates (paper Figures 2b and 8)."""
+"""Per-field size accounting for certificates (paper Figures 2b and 8).
+
+Measured sizes are memoized on the :class:`~repro.x509.certificate.Certificate`
+instance itself (the ``_field_sizes`` attribute, set with
+``object.__setattr__`` on the frozen dataclass, the same idiom the wire model
+uses for its size memos).  The memo relies on the invariant that certificates
+are immutable once built — their DER and every structured component are fixed
+at :meth:`CertificateBuilder.build` time — so the first measurement stays
+valid for the object's lifetime.  This matters because the same CA
+certificates appear in thousands of chains: figure02b measures every delivered
+certificate of the population, and without the memo the repeated DER
+re-encoding of shared intermediates is the largest single cost of
+``build_report``.
+"""
 
 from __future__ import annotations
 
@@ -39,12 +52,17 @@ class CertificateFieldSizes:
 
 
 def measure_field_sizes(certificate: Certificate) -> CertificateFieldSizes:
-    """Measure the encoded sizes of a certificate's main fields.
+    """Measure the encoded sizes of a certificate's main fields (memoized).
 
     The sizes are taken from the actual DER encodings of each component, so
     they sum (together with framing overhead counted as *other*) to the full
-    certificate size.
+    certificate size.  Repeated calls for the same certificate instance return
+    the same cached :class:`CertificateFieldSizes` (certificates are frozen,
+    see the module docstring).
     """
+    cached = getattr(certificate, "_field_sizes", None)
+    if cached is not None:
+        return cached
     subject = certificate.subject.encoded_size()
     issuer = certificate.issuer.encoded_size()
     spki = len(certificate.public_key.spki_der())
@@ -55,7 +73,7 @@ def measure_field_sizes(certificate: Certificate) -> CertificateFieldSizes:
     signature = len(certificate.signature_value)
     accounted = subject + issuer + spki + extensions + signature
     other = max(certificate.size - accounted, 0)
-    return CertificateFieldSizes(
+    sizes = CertificateFieldSizes(
         subject=subject,
         issuer=issuer,
         public_key_info=spki,
@@ -64,6 +82,8 @@ def measure_field_sizes(certificate: Certificate) -> CertificateFieldSizes:
         other=other,
         total=certificate.size,
     )
+    object.__setattr__(certificate, "_field_sizes", sizes)
+    return sizes
 
 
 def san_byte_share(certificate: Certificate) -> float:

@@ -1,0 +1,224 @@
+"""Determinism tests for the sharded campaign runner and streaming generation.
+
+The contract under test: a seeded campaign produces byte-identical results no
+matter how the work is split — serial vs. sharded, one worker vs. many
+processes, eager vs. streaming population generation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import build_report
+from repro.scanners.orchestrator import MeasurementCampaign
+from repro.scanners.sharding import (
+    DEFAULT_SHARD_SIZE,
+    build_shard_tasks,
+    merge_shard_results,
+    plan_shards,
+    run_sharded_scan,
+    scan_shard,
+)
+from repro.webpki.deployment import ServiceCategory
+from repro.webpki.population import (
+    GENERATION_SHARD_SIZE,
+    InternetPopulation,
+    PopulationConfig,
+    generate_population,
+    generate_shard,
+    iter_population_shards,
+)
+from repro.x509.field_sizes import measure_field_sizes
+
+#: Small population with several scan shards (shard_size=256 below) so the
+#: merge logic is actually exercised; sized to keep the 4-process test quick.
+CONFIG = PopulationConfig(size=1200, seed=77)
+SHARD_SIZE = 256
+
+
+@pytest.fixture(scope="module")
+def population():
+    return generate_population(CONFIG)
+
+
+def _campaign(population, **kwargs):
+    return MeasurementCampaign(
+        population=population,
+        run_sweep=True,
+        sweep_sample_size=80,
+        spoofed_targets_per_provider=20,
+        **kwargs,
+    ).run()
+
+
+class TestPlanShards:
+    def test_covers_every_deployment_exactly_once(self):
+        specs = plan_shards(1000, shard_size=128)
+        assert specs[0].start == 0
+        assert specs[-1].stop == 1000
+        for left, right in zip(specs, specs[1:]):
+            assert left.stop == right.start
+        assert sum(len(spec) for spec in specs) == 1000
+
+    def test_last_shard_may_be_short(self):
+        specs = plan_shards(1000, shard_size=300)
+        assert [len(spec) for spec in specs] == [300, 300, 300, 100]
+
+    def test_boundaries_do_not_depend_on_worker_count(self):
+        # There is no worker parameter at all: the plan is a pure function of
+        # (total, shard_size), which is what makes N-process runs mergeable.
+        assert plan_shards(5000) == plan_shards(5000, DEFAULT_SHARD_SIZE)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            plan_shards(100, shard_size=0)
+        with pytest.raises(ValueError):
+            plan_shards(-1)
+
+
+class TestStreamingGeneration:
+    def test_streaming_equals_eager(self, population):
+        streamed = [
+            deployment
+            for shard in iter_population_shards(CONFIG)
+            for deployment in shard.deployments
+        ]
+        assert len(streamed) == len(population.deployments)
+        for streamed_d, eager_d in zip(streamed, population.deployments):
+            assert streamed_d.domain == eager_d.domain
+            assert streamed_d.rank == eager_d.rank
+            assert streamed_d.category == eager_d.category
+            assert streamed_d.address == eager_d.address
+            assert streamed_d.provider == eager_d.provider
+            if eager_d.https_chain is not None:
+                assert streamed_d.https_chain.fingerprint == eager_d.https_chain.fingerprint
+            if eager_d.quic_chain is not None:
+                assert streamed_d.quic_chain.fingerprint == eager_d.quic_chain.fingerprint
+
+    def test_shards_are_rank_contiguous(self):
+        shards = list(iter_population_shards(CONFIG))
+        assert shards[0].start_rank == 1
+        for shard in shards:
+            ranks = [d.rank for d in shard.deployments]
+            assert ranks == list(range(shard.start_rank, shard.start_rank + len(ranks)))
+        assert shards[-1].end_rank == CONFIG.size
+
+    def test_single_shard_generation_is_order_independent(self):
+        # Shard 1 generated alone equals shard 1 from the stream: it depends
+        # only on (seed, shard_index), never on shard 0 having been generated.
+        alone = generate_shard(CONFIG, 1)
+        streamed = list(iter_population_shards(CONFIG))[1]
+        assert alone.start_rank == streamed.start_rank == GENERATION_SHARD_SIZE + 1
+        assert [d.domain for d in alone.deployments] == [
+            d.domain for d in streamed.deployments
+        ]
+        assert [d.address for d in alone.deployments] == [
+            d.address for d in streamed.deployments
+        ]
+
+    def test_out_of_range_shard_rejected(self):
+        with pytest.raises(ValueError):
+            generate_shard(CONFIG, 99)
+
+
+class TestShardedScanDeterminism:
+    def test_workers_1_vs_4_byte_identical_report(self, population):
+        """The acceptance criterion: same seed => same report bytes, any N."""
+        results_1 = _campaign(population, workers=1, shard_size=SHARD_SIZE)
+        results_4 = _campaign(population, workers=4, shard_size=SHARD_SIZE)
+        assert build_report(results_1).text == build_report(results_4).text
+        assert results_1.flight_cache == results_4.flight_cache
+        assert results_1.https_scan.funnel.as_dict() == results_4.https_scan.funnel.as_dict()
+        assert results_1.handshakes == results_4.handshakes
+        assert results_1.sweep.observations == results_4.sweep.observations
+
+    def test_sharded_equals_serial_report(self, population):
+        serial = _campaign(population)
+        sharded = _campaign(population, workers=1, shard_size=SHARD_SIZE)
+        assert build_report(serial).text == build_report(sharded).text
+
+    def test_shard_size_does_not_change_results(self, population):
+        small = _campaign(population, workers=1, shard_size=200)
+        large = _campaign(population, workers=1, shard_size=800)
+        assert build_report(small).text == build_report(large).text
+
+    def test_merge_is_shard_order_insensitive(self, population):
+        tasks = build_shard_tasks(
+            population.deployments, shard_size=SHARD_SIZE,
+            run_sweep=True, sweep_sample_size=80,
+        )
+        partials = [scan_shard(task) for task in tasks]
+        forward = merge_shard_results(partials, run_sweep=True)
+        backward = merge_shard_results(list(reversed(partials)), run_sweep=True)
+        assert forward.handshakes == backward.handshakes
+        assert forward.https_scan.records == backward.https_scan.records
+        assert forward.sweep.observations == backward.sweep.observations
+        assert forward.flight_cache == backward.flight_cache
+
+    def test_merged_shapes_cover_population(self, population):
+        merged = run_sharded_scan(
+            population, workers=1, shard_size=SHARD_SIZE,
+            run_sweep=False,
+        )
+        quic_count = sum(
+            1 for d in population.deployments if d.category is ServiceCategory.QUIC
+        )
+        assert len(merged.handshakes) == quic_count
+        assert len(merged.quic_certificates) == quic_count
+        assert len(merged.compression) == quic_count
+        assert merged.sweep is None
+        assert merged.https_scan.funnel.names_total == len(population.deployments)
+        # One handshake per domain and the cache key includes the domain, so a
+        # sweepless scan is all misses; every flight still lands in the cache.
+        assert merged.flight_cache.hits == 0
+        assert merged.flight_cache.misses == merged.flight_cache.currsize
+
+    def test_sweep_on_hand_assembled_population(self, population):
+        """Regression: sweep targets route by list index, not rank.
+
+        A hand-assembled population (here: the QUIC subset, so ranks are
+        sparse and far exceed the list length) used to crash task building —
+        or silently sweep the wrong shards when merely reordered.
+        """
+        quic_only = [
+            d for d in population.deployments if d.category is ServiceCategory.QUIC
+        ]
+        subset = InternetPopulation(
+            config=population.config, tranco=population.tranco, deployments=quic_only
+        )
+        kwargs = dict(run_sweep=True, sweep_sample_size=60, spoofed_targets_per_provider=10)
+        serial = MeasurementCampaign(population=subset, **kwargs).run()
+        sharded = MeasurementCampaign(
+            population=subset, workers=1, shard_size=64, **kwargs
+        ).run()
+        assert build_report(serial).text == build_report(sharded).text
+        reachable = [o for o in sharded.sweep.observations if o.reachable]
+        assert len(reachable) > len(sharded.sweep.observations) * 0.9
+
+    def test_sweep_reuses_per_shard_caches(self, population):
+        merged = run_sharded_scan(
+            population, workers=1, shard_size=SHARD_SIZE,
+            run_sweep=True, sweep_sample_size=80,
+        )
+        # The sweep replays each sampled domain at every Initial size; all but
+        # the first replay hit the shard's cache.
+        assert merged.flight_cache.hits > merged.flight_cache.misses
+
+
+class TestFieldSizeMemo:
+    def test_repeated_measurement_returns_cached_object(self, population):
+        certificate = population.quic_services()[0].https_chain.leaf
+        first = measure_field_sizes(certificate)
+        second = measure_field_sizes(certificate)
+        assert second is first  # memoized on the frozen instance
+
+    def test_memoized_sizes_still_account_for_every_byte(self, population):
+        for deployment in population.quic_services()[:20]:
+            for certificate in deployment.https_chain:
+                sizes = measure_field_sizes(certificate)
+                assert sizes.total == certificate.size
+                accounted = (
+                    sizes.subject + sizes.issuer + sizes.public_key_info
+                    + sizes.extensions + sizes.signature + sizes.other
+                )
+                assert accounted == sizes.total
