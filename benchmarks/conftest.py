@@ -15,8 +15,12 @@ import pytest
 from repro.scanners.orchestrator import CampaignResults, MeasurementCampaign
 from repro.webpki.population import InternetPopulation, PopulationConfig, generate_population
 
-#: Population size used by the benchmark harness.
-BENCH_POPULATION_SIZE = 2500
+#: Population size used by the benchmark harness.  Overridable so CI smoke
+#: jobs can run the full harness on a small campaign.
+BENCH_POPULATION_SIZE = int(os.environ.get("REPRO_BENCH_POPULATION_SIZE", "2500"))
+
+#: Sweep sample size of the shared campaign fixture (small-campaign knob).
+BENCH_SWEEP_SAMPLES = int(os.environ.get("REPRO_BENCH_SWEEP_SAMPLES", "250"))
 
 #: Worker processes for the shared campaign fixture.  Unset (the tier-1/CI
 #: default) keeps the single-process serial path; the sharded runner merges to
@@ -37,7 +41,7 @@ def campaign_results(population: InternetPopulation) -> CampaignResults:
     campaign = MeasurementCampaign(
         population=population,
         run_sweep=True,
-        sweep_sample_size=250,
+        sweep_sample_size=BENCH_SWEEP_SAMPLES,
         spoofed_targets_per_provider=40,
         workers=BENCH_WORKERS,
         shard_size=BENCH_SHARD_SIZE,

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Regenerate the golden-report digests pinned by tests/test_golden_report.py.
+
+One command:
+
+    PYTHONPATH=src python scripts/regenerate_golden.py
+
+Runs the fixed-seed reference campaign, exports every figure/table as CSV plus
+the rendered text report, and writes the SHA-256 of each artefact to
+``tests/golden/report_digests.json``.  The test regenerates the same artefacts
+and fails on any byte drift — rerun this script (and review the diff!) only
+when an intentional change to campaign semantics or rendering lands.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+GOLDEN_PATH = os.path.join(REPO_ROOT, "tests", "golden", "report_digests.json")
+
+#: The reference campaign: small, fixed seed, sweep enabled so every section
+#: (figure03 included) is pinned.
+CAMPAIGN_PARAMS = {
+    "size": 600,
+    "seed": 2022,
+    "sweep_sample_size": 60,
+    "spoofed_targets_per_provider": 12,
+}
+
+
+def compute_golden_digests(params=None):
+    """Run the reference campaign and hash every exported artefact."""
+    from repro.analysis.export import export_evaluation
+    from repro.scanners import MeasurementCampaign
+    from repro.webpki.population import PopulationConfig, generate_population
+
+    params = dict(params or CAMPAIGN_PARAMS)
+    config = PopulationConfig(size=params["size"], seed=params["seed"])
+    results = MeasurementCampaign(
+        population=generate_population(config),
+        run_sweep=True,
+        sweep_sample_size=params["sweep_sample_size"],
+        spoofed_targets_per_provider=params["spoofed_targets_per_provider"],
+    ).run()
+    digests = {}
+    with tempfile.TemporaryDirectory() as directory:
+        export_evaluation(results, directory)
+        for name in sorted(os.listdir(directory)):
+            with open(os.path.join(directory, name), "rb") as handle:
+                digests[name] = hashlib.sha256(handle.read()).hexdigest()
+    return digests
+
+
+def main() -> int:
+    digests = compute_golden_digests()
+    payload = {"campaign": CAMPAIGN_PARAMS, "digests": digests}
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"{len(digests)} artefact digests written to {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,6 +34,11 @@ def main() -> int:
     parser.add_argument("--workers", type=int, default=os.cpu_count() or 2)
     parser.add_argument("--shard-size", type=int, default=DEFAULT_SHARD_SIZE)
     parser.add_argument("--sweep", action="store_true", help="include the Figure 3 sweep")
+    parser.add_argument(
+        "--stream", action="store_true",
+        help="also run the streaming reduction pipeline and verify its report "
+             "is byte-identical to the eager runs",
+    )
     args = parser.parse_args()
 
     print(f"generating population: size={args.size} seed={args.seed} ...")
@@ -43,7 +48,7 @@ def main() -> int:
           f"({len(plan_shards(args.size, args.shard_size))} scan shards of {args.shard_size})")
 
     reports = {}
-    for workers in (1, args.workers):
+    for workers in dict.fromkeys((1, args.workers)):
         t0 = time.perf_counter()
         results = MeasurementCampaign(
             population=population,
@@ -61,6 +66,30 @@ def main() -> int:
             print(f"  reports byte-identical (1 vs {workers} workers): {identical}")
             if not identical:
                 return 1
+
+    if args.stream:
+        import resource
+        import sys
+
+        t0 = time.perf_counter()
+        streamed = MeasurementCampaign(
+            population_config=PopulationConfig(size=args.size, seed=args.seed),
+            run_sweep=args.sweep,
+            workers=args.workers,
+            shard_size=args.shard_size,
+            stream=True,
+        ).run()
+        elapsed = time.perf_counter() - t0
+        streamed_text = build_report(streamed, include_sweep=args.sweep).text
+        # ru_maxrss is kilobytes on Linux but bytes on macOS.
+        rss_divisor = 1024 * 1024 if sys.platform == "darwin" else 1024
+        peak_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / rss_divisor
+        identical = streamed_text == reports[1]
+        print(f"  streamed ({args.workers} workers): campaign ran in {elapsed:.2f}s "
+              f"(parent peak RSS {peak_mb:.0f} MB, includes the eager runs above)")
+        print(f"  streamed report byte-identical to eager: {identical}")
+        if not identical:
+            return 1
     return 0
 
 

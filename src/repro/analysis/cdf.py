@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Mapping, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -15,6 +15,20 @@ class EmpiricalCdf:
     @classmethod
     def from_values(cls, values: Iterable[float]) -> "EmpiricalCdf":
         return cls(tuple(sorted(float(v) for v in values)))
+
+    @classmethod
+    def from_counts(cls, counts: Mapping[float, int]) -> "EmpiricalCdf":
+        """Build the CDF from a ``value -> multiplicity`` accumulator.
+
+        Equals ``from_values`` over the expanded multiset, but repeated values
+        share one float object each, so million-sample CDFs merged from
+        streaming count accumulators cost one pointer per sample instead of
+        one boxed float per sample.
+        """
+        values: List[float] = []
+        for value in sorted(float(v) for v in counts):
+            values.extend([value] * counts[value])
+        return cls(tuple(values))
 
     def __post_init__(self) -> None:
         if list(self.values) != sorted(self.values):

@@ -14,7 +14,7 @@ from typing import Dict, List
 
 from ..scanners.orchestrator import CampaignResults
 from .dataset import Column, Table
-from .report import EvaluationReport, build_report
+from .report import AnyCampaignResults, EvaluationReport, build_report
 
 
 @dataclass(frozen=True)
@@ -105,11 +105,16 @@ def _section_tables(name: str, section) -> Dict[str, Table]:
 
 
 def export_evaluation(
-    results: CampaignResults,
+    results: AnyCampaignResults,
     directory: str,
     report: EvaluationReport | None = None,
 ) -> ExportedFiles:
-    """Write the full evaluation (text report + per-figure CSVs) to ``directory``."""
+    """Write the full evaluation (text report + per-figure CSVs) to ``directory``.
+
+    ``results`` may be an eager :class:`CampaignResults` or a streamed
+    :class:`~repro.scanners.streaming.ReducedCampaignResults`; exported bytes
+    are identical either way.
+    """
     os.makedirs(directory, exist_ok=True)
     report = report or build_report(results)
 

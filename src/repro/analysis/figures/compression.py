@@ -11,7 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
-from ...core.compression_study import CompressionStudyResult, run_compression_study
+from ...core.compression_study import (
+    CompressionStudyResult,
+    run_compression_study,
+    study_from_reduction,
+)
 from ...core.limits import LARGER_COMMON_LIMIT
 from ...scanners.compression_scanner import CompressionObservation, CompressionScanner
 from ...tls.cert_compression import CertificateCompressionAlgorithm
@@ -60,6 +64,37 @@ def compute(
     synthetic = run_compression_study(chains, algorithm, limit_bytes)
     wild_rate = CompressionScanner.mean_compression_rate(observations, algorithm)
     support = CompressionScanner.support_share(observations, algorithm)
+    return CompressionExperiment(
+        synthetic=synthetic,
+        wild_mean_rate=wild_rate,
+        wild_support_share=support,
+        limit_bytes=limit_bytes,
+    )
+
+
+def compute_from_reduction(
+    synthetic_rates: Sequence[float],
+    synthetic_below_limit_uncompressed: int,
+    synthetic_below_limit_compressed: int,
+    synthetic_chain_count: int,
+    wild_rates: Sequence[float],
+    wild_support_count: int,
+    scanned_services: int,
+    algorithm: CertificateCompressionAlgorithm = CertificateCompressionAlgorithm.BROTLI,
+    limit_bytes: int = LARGER_COMMON_LIMIT,
+) -> CompressionExperiment:
+    """Reduced-contract equivalent of :func:`compute` (byte-identical output)."""
+    synthetic = study_from_reduction(
+        algorithm,
+        synthetic_rates,
+        synthetic_below_limit_uncompressed,
+        synthetic_below_limit_compressed,
+        synthetic_chain_count,
+        limit_bytes,
+    )
+    ordered_wild = list(wild_rates)
+    wild_rate = sum(ordered_wild) / len(ordered_wild) if ordered_wild else None
+    support = wild_support_count / scanned_services if scanned_services else 0.0
     return CompressionExperiment(
         synthetic=synthetic,
         wild_mean_rate=wild_rate,

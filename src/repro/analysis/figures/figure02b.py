@@ -61,6 +61,41 @@ def compute(certificates: Iterable[Certificate]) -> FieldSizeDistributions:
     )
 
 
+def accumulate_field_sizes(
+    certificates: Iterable[Certificate], counts: Dict[str, Dict[int, int]]
+) -> int:
+    """Fold certificates into per-field ``size -> multiplicity`` accumulators.
+
+    The streaming reducer calls this in the worker; ``compute_from_counts``
+    over the merged accumulators equals ``compute`` over the certificates.
+    Returns the number of certificates folded in.
+    """
+    folded = 0
+    for certificate in certificates:
+        sizes = measure_field_sizes(certificate)
+        for field, size in (
+            ("Subject", sizes.subject),
+            ("Issuer", sizes.issuer),
+            ("PublicKeyInfo", sizes.public_key_info),
+            ("Extensions", sizes.extensions),
+            ("Signature", sizes.signature),
+        ):
+            field_counts = counts[field]
+            field_counts[size] = field_counts.get(size, 0) + 1
+        folded += 1
+    return folded
+
+
+def compute_from_counts(
+    counts: Dict[str, Dict[int, int]], certificate_count: int
+) -> FieldSizeDistributions:
+    """Reduced-contract equivalent of :func:`compute` (byte-identical output)."""
+    return FieldSizeDistributions(
+        cdfs={name: EmpiricalCdf.from_counts(counts[name]) for name in FIELD_NAMES},
+        certificate_count=certificate_count,
+    )
+
+
 def certificates_from_results(results) -> List[Certificate]:
     """All certificates delivered by the population (leaves and CA certs)."""
     certificates: List[Certificate] = []

@@ -54,3 +54,16 @@ def compute(observations: Sequence[HandshakeObservation]) -> FirstRttAmplificati
     return FirstRttAmplificationFigure(
         cdf=EmpiricalCdf.from_values(factors), service_count=len(factors)
     )
+
+
+def compute_from_counts(factor_counts) -> FirstRttAmplificationFigure:
+    """Reduced-contract equivalent of :func:`compute`.
+
+    ``factor_counts`` maps an amplification factor to how often limit-exceeding
+    reachable handshakes produced it; the merged streaming accumulators carry
+    the same multiset the eager path collects, so the CDF is identical.
+    """
+    return FirstRttAmplificationFigure(
+        cdf=EmpiricalCdf.from_counts(factor_counts),
+        service_count=sum(factor_counts.values()),
+    )

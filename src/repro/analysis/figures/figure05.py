@@ -62,3 +62,24 @@ def compute(observations: Sequence[HandshakeObservation]) -> MultiRttPayloadFigu
         share_tls_alone_exceeds=exceeds,
         max_quic_overhead=max_overhead,
     )
+
+
+def compute_from_rows(
+    rows: Sequence[Tuple[int, int, int]],
+    exceeds_count: int,
+    max_overhead: int,
+) -> MultiRttPayloadFigure:
+    """Reduced-contract equivalent of :func:`compute`.
+
+    ``rows`` are the per-multi-RTT-handshake ``(tls_bytes, total_bytes,
+    limit_bytes)`` triples in observation (= shard concatenation) order; the
+    stable sort by total bytes therefore breaks ties exactly like the eager
+    path sorting the observations themselves.
+    """
+    entries = tuple(sorted(rows, key=lambda row: row[1]))
+    exceeds = exceeds_count / len(rows) if rows else 0.0
+    return MultiRttPayloadFigure(
+        entries=entries,
+        share_tls_alone_exceeds=exceeds,
+        max_quic_overhead=max_overhead,
+    )

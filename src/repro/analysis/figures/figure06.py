@@ -79,3 +79,16 @@ def compute(
         https_only_cdf=EmpiricalCdf.from_values(https_sizes),
         limit_bytes=limit_bytes,
     )
+
+
+def compute_from_counts(
+    quic_size_counts,
+    https_only_size_counts,
+    limit_bytes: int = LARGER_COMMON_LIMIT,
+) -> ChainSizeDistributions:
+    """Reduced-contract equivalent of :func:`compute` over size accumulators."""
+    return ChainSizeDistributions(
+        quic_cdf=EmpiricalCdf.from_counts(quic_size_counts),
+        https_only_cdf=EmpiricalCdf.from_counts(https_only_size_counts),
+        limit_bytes=limit_bytes,
+    )

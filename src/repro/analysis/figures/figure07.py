@@ -112,3 +112,89 @@ def compute(
             )
         )
     return TopParentChainsFigure(group_label=group_label, rows=tuple(rows), total_services=total)
+
+
+@dataclass
+class ParentChainStats:
+    """Mergeable per-parent-chain aggregate for the streaming reduction.
+
+    ``first_index`` is the global deployment index of the group's first member
+    — merging keeps the minimum, so the merged ``parent_sizes_by_depth`` and
+    the ranking's tie-break both follow the eager path's first-occurrence
+    (deployment-order) semantics.
+    """
+
+    count: int
+    leaf_size_counts: Dict[int, int]
+    first_index: int
+    parent_sizes: Tuple[int, ...]
+
+    def merge(self, other: "ParentChainStats") -> None:
+        self.count += other.count
+        for size, multiplicity in other.leaf_size_counts.items():
+            self.leaf_size_counts[size] = self.leaf_size_counts.get(size, 0) + multiplicity
+        if other.first_index < self.first_index:
+            self.first_index = other.first_index
+            self.parent_sizes = other.parent_sizes
+
+
+def accumulate_groups(
+    deployments: Sequence[DomainDeployment],
+    groups: Dict[Tuple[str, ...], ParentChainStats],
+    index_offset: int,
+) -> int:
+    """Fold deployments into per-parent-chain stats; returns the group total.
+
+    ``index_offset`` is the global index of ``deployments[0]`` so first-member
+    bookkeeping stays consistent across shards.
+    """
+    total = 0
+    for position, deployment in enumerate(deployments):
+        chain = deployment.delivered_chain
+        if chain is None or not chain.is_correctly_ordered():
+            continue
+        total += 1
+        key = chain.parent_chain_key()
+        stats = groups.get(key)
+        if stats is None:
+            groups[key] = ParentChainStats(
+                count=1,
+                leaf_size_counts={chain.leaf_size: 1},
+                first_index=index_offset + position,
+                parent_sizes=tuple(chain.sizes_by_depth()[1:]),
+            )
+        else:
+            stats.count += 1
+            stats.leaf_size_counts[chain.leaf_size] = (
+                stats.leaf_size_counts.get(chain.leaf_size, 0) + 1
+            )
+    return total
+
+
+def compute_from_groups(
+    groups: Dict[Tuple[str, ...], ParentChainStats],
+    group_label: str,
+    total: int,
+    top_n: int = 10,
+) -> TopParentChainsFigure:
+    """Reduced-contract equivalent of :func:`compute` (byte-identical output)."""
+    ordered = sorted(groups.items(), key=lambda item: item[1].first_index)
+    ranked = sorted(ordered, key=lambda item: item[1].count, reverse=True)[:top_n]
+    rows: List[ParentChainRow] = []
+    for key, stats in ranked:
+        leaf_sizes = [
+            size
+            for size in sorted(stats.leaf_size_counts)
+            for _ in range(stats.leaf_size_counts[size])
+        ]
+        rows.append(
+            ParentChainRow(
+                parent_chain=key,
+                share=stats.count / total if total else 0.0,
+                service_count=stats.count,
+                parent_sizes_by_depth=stats.parent_sizes,
+                median_leaf_size=int(median(leaf_sizes)),
+                max_leaf_size=leaf_sizes[-1],
+            )
+        )
+    return TopParentChainsFigure(group_label=group_label, rows=tuple(rows), total_services=total)

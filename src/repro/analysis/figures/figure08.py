@@ -12,7 +12,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from ...x509.certificate import Certificate
-from ...x509.field_sizes import CertificateFieldSizes, mean_field_sizes
+from ...x509.field_sizes import (
+    CertificateFieldSizes,
+    mean_field_sizes,
+    mean_from_sums,
+    measure_field_sizes,
+)
 from ...webpki.deployment import DomainDeployment
 
 #: The chain-size threshold the paper uses to separate "large" chains.
@@ -81,4 +86,50 @@ def compute(quic_deployments: Sequence[DomainDeployment]) -> FieldSizesByCertTyp
     return FieldSizesByCertType(
         means={label: mean_field_sizes(certs) for label, certs in buckets.items()},
         counts={label: len(certs) for label, certs in buckets.items()},
+    )
+
+
+FIELD_SUM_KEYS = (
+    "subject", "issuer", "public_key_info", "extensions", "signature", "other", "total",
+)
+
+
+def accumulate_field_sums(
+    quic_deployments: Sequence[DomainDeployment],
+    sums: Dict[str, Dict[str, int]],
+    counts: Dict[str, int],
+) -> None:
+    """Fold QUIC deployments into per-group integer field-size sums."""
+    for deployment in quic_deployments:
+        chain = deployment.delivered_chain
+        if chain is None:
+            continue
+        is_large = chain.total_size > CHAIN_SIZE_THRESHOLD
+        for index, certificate in enumerate(chain):
+            is_leaf = index == 0
+            for label, wants_leaf, wants_large in GROUPS:
+                if wants_leaf == is_leaf and wants_large == is_large:
+                    sizes = measure_field_sizes(certificate)
+                    group_sums = sums[label]
+                    for key in FIELD_SUM_KEYS:
+                        group_sums[key] += getattr(sizes, key)
+                    counts[label] += 1
+                    break
+
+
+def empty_field_sums() -> Tuple[Dict[str, Dict[str, int]], Dict[str, int]]:
+    """Fresh zeroed accumulators for :func:`accumulate_field_sums`."""
+    return (
+        {label: {key: 0 for key in FIELD_SUM_KEYS} for label, _, _ in GROUPS},
+        {label: 0 for label, _, _ in GROUPS},
+    )
+
+
+def compute_from_sums(
+    sums: Dict[str, Dict[str, int]], counts: Dict[str, int]
+) -> FieldSizesByCertType:
+    """Reduced-contract equivalent of :func:`compute` (byte-identical output)."""
+    return FieldSizesByCertType(
+        means={label: mean_from_sums(sums[label], counts[label]) for label, _, _ in GROUPS},
+        counts=dict(counts),
     )

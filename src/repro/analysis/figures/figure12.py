@@ -92,3 +92,57 @@ def compute(
         https_only_shares=tuple(https_shares),
         group_sizes=tuple(sizes),
     )
+
+
+#: Stable wire codes for :class:`ServiceCategory` in streaming reductions.
+CATEGORY_CODES: Dict[ServiceCategory, int] = {
+    category: index for index, category in enumerate(ServiceCategory)
+}
+
+
+def compute_from_category_runs(
+    runs: Sequence[Tuple[int, bytes]],
+    group_count: int = 10,
+) -> RankGroupShares:
+    """Reduced-contract equivalent of :func:`compute`.
+
+    ``runs`` are rank-contiguous ``(start_rank, category_codes)`` byte strings
+    (one per scan shard, in shard order), one code per deployment — the shape
+    streaming workers ship instead of the deployments themselves.
+    """
+    if not runs or all(not codes for _, codes in runs):
+        return RankGroupShares((), (), (), ())
+    max_rank = max(start + len(codes) - 1 for start, codes in runs if codes)
+    group_size = max(1, math.ceil(max_rank / group_count))
+    quic_code = CATEGORY_CODES[ServiceCategory.QUIC]
+    https_only_code = CATEGORY_CODES[ServiceCategory.HTTPS_ONLY]
+
+    labels: List[str] = []
+    quic_shares: List[float] = []
+    https_shares: List[float] = []
+    sizes: List[int] = []
+    for group_index in range(group_count):
+        start = group_index * group_size + 1
+        end = (group_index + 1) * group_size + 1
+        members = quic = https_only = 0
+        for run_start, codes in runs:
+            lo = max(start, run_start) - run_start
+            hi = min(end, run_start + len(codes)) - run_start
+            if hi <= lo:
+                continue
+            window = codes[lo:hi]
+            members += len(window)
+            quic += window.count(quic_code)
+            https_only += window.count(https_only_code)
+        if not members:
+            continue
+        labels.append(f"[{start}, {end})")
+        sizes.append(members)
+        quic_shares.append(quic / members)
+        https_shares.append(https_only / members)
+    return RankGroupShares(
+        group_labels=tuple(labels),
+        quic_shares=tuple(quic_shares),
+        https_only_shares=tuple(https_shares),
+        group_sizes=tuple(sizes),
+    )

@@ -103,3 +103,50 @@ def compute(
     return RankGroupHandshakeClasses(
         group_labels=tuple(labels), shares=shares, group_counts=counts
     )
+
+
+#: Stable wire codes for the four reachable handshake classes.
+CLASS_CODES: Dict[HandshakeClass, int] = {
+    handshake_class: index for index, handshake_class in enumerate(CLASS_ORDER)
+}
+
+
+def compute_from_series(
+    ranks: Sequence[int],
+    class_codes: bytes,
+    group_count: int = 10,
+) -> RankGroupHandshakeClasses:
+    """Reduced-contract equivalent of :func:`compute`.
+
+    ``ranks`` (ascending — observations are collected in rank order) and
+    ``class_codes`` are the parallel compact series of the reachable,
+    classified handshake observations.
+    """
+    from bisect import bisect_left
+
+    if not ranks:
+        return RankGroupHandshakeClasses((), {}, {})
+    max_rank = max(ranks)
+    group_size = max(1, math.ceil(max_rank / group_count))
+
+    labels: List[str] = []
+    shares: Dict[str, Dict[HandshakeClass, float]] = {}
+    counts: Dict[str, int] = {}
+    for group_index in range(group_count):
+        start = group_index * group_size + 1
+        end = (group_index + 1) * group_size + 1
+        lo = bisect_left(ranks, start)
+        hi = bisect_left(ranks, end)
+        if lo == hi:
+            continue
+        label = f"[{start}, {end})"
+        window = class_codes[lo:hi]
+        labels.append(label)
+        counts[label] = hi - lo
+        shares[label] = {
+            handshake_class: window.count(CLASS_CODES[handshake_class]) / (hi - lo)
+            for handshake_class in CLASS_ORDER
+        }
+    return RankGroupHandshakeClasses(
+        group_labels=tuple(labels), shares=shares, group_counts=counts
+    )

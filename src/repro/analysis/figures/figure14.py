@@ -68,3 +68,28 @@ def compute(
         share_high_san_and_over_limit=high_and_large,
         limit_bytes=limit_bytes,
     )
+
+
+def compute_from_points(
+    leaf_sizes: Sequence[int],
+    san_shares: Sequence[float],
+    limit_bytes: int = LARGER_COMMON_LIMIT,
+) -> CruiseLinerFigure:
+    """Reduced-contract equivalent of :func:`compute` over the compact series.
+
+    ``leaf_sizes`` / ``san_shares`` are parallel, in deployment order — the
+    same order the eager path collects its points in.
+    """
+    points = tuple(zip(leaf_sizes, san_shares))
+    if not points:
+        return CruiseLinerFigure((), 0.0, 0.0, limit_bytes)
+    threshold = percentile(san_shares, 0.99)
+    high_and_large = share(
+        points, lambda p: p[1] >= threshold and p[0] > limit_bytes
+    )
+    return CruiseLinerFigure(
+        points=points,
+        top1pct_san_share_threshold=threshold,
+        share_high_san_and_over_limit=high_and_large,
+        limit_bytes=limit_bytes,
+    )

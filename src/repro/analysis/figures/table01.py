@@ -87,3 +87,34 @@ def compute(observations: Sequence[CompressionObservation]) -> BrowserCompressio
         all_three_share=all_three,
         scanned_services=len(observations),
     )
+
+
+def compute_from_reduction(
+    support_counts: Dict[CertificateCompressionAlgorithm, int],
+    rates: Dict[CertificateCompressionAlgorithm, Sequence[float]],
+    all_three_count: int,
+    scanned_services: int,
+) -> BrowserCompressionTable:
+    """Reduced-contract equivalent of :func:`compute`.
+
+    ``rates`` holds each algorithm's measured compression rates in observation
+    (= shard concatenation) order, so the mean is the same left-to-right float
+    sum the eager path computes.
+    """
+    support_shares = {
+        algorithm: (support_counts.get(algorithm, 0) / scanned_services if scanned_services else 0.0)
+        for algorithm in CertificateCompressionAlgorithm
+    }
+    mean_rates: Dict[CertificateCompressionAlgorithm, Optional[float]] = {}
+    for algorithm in CertificateCompressionAlgorithm:
+        algorithm_rates = list(rates.get(algorithm, ()))
+        mean_rates[algorithm] = (
+            sum(algorithm_rates) / len(algorithm_rates) if algorithm_rates else None
+        )
+    return BrowserCompressionTable(
+        browsers=dict(BROWSER_PROFILES),
+        support_shares=support_shares,
+        mean_rates=mean_rates,
+        all_three_share=all_three_count / scanned_services if scanned_services else 0.0,
+        scanned_services=scanned_services,
+    )

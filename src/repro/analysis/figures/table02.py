@@ -97,3 +97,34 @@ def compute(
         total = totals[(service_group, cert_type)]
         shares[(service_group, cert_type, algorithm)] = count / total if total else 0.0
     return CryptoAlgorithmShares(shares=shares, counts=totals)
+
+
+def accumulate_key_algorithms(
+    service_group: str,
+    deployments: Sequence[DomainDeployment],
+    counters: Dict[Tuple[str, str, KeyAlgorithm], int],
+    totals: Dict[Tuple[str, str], int],
+) -> None:
+    """Fold one service group's deployments into the Table 2 counters."""
+    for deployment in deployments:
+        chain = deployment.delivered_chain
+        if chain is None:
+            continue
+        for index, certificate in enumerate(chain):
+            cert_type = "Leaf" if index == 0 else "Non-leaf"
+            key = (service_group, cert_type)
+            totals[key] = totals.get(key, 0) + 1
+            algo_key = (service_group, cert_type, certificate.key_algorithm)
+            counters[algo_key] = counters.get(algo_key, 0) + 1
+
+
+def compute_from_counters(
+    counters: Dict[Tuple[str, str, KeyAlgorithm], int],
+    totals: Dict[Tuple[str, str], int],
+) -> CryptoAlgorithmShares:
+    """Reduced-contract equivalent of :func:`compute` (byte-identical output)."""
+    shares: Dict[Tuple[str, str, KeyAlgorithm], float] = {}
+    for (service_group, cert_type, algorithm), count in counters.items():
+        total = totals[(service_group, cert_type)]
+        shares[(service_group, cert_type, algorithm)] = count / total if total else 0.0
+    return CryptoAlgorithmShares(shares=shares, counts=dict(totals))

@@ -3,15 +3,23 @@
 ``build_report`` runs every figure/table module against one campaign's results
 and returns a single text report (also used to generate EXPERIMENTS.md), so
 "regenerate the paper's evaluation" is one function call.
+
+It accepts either an eager :class:`~repro.scanners.orchestrator.CampaignResults`
+or a streamed :class:`~repro.scanners.streaming.ReducedCampaignResults`; the
+two render byte-identical reports (pinned by
+``tests/test_streaming_reduction.py``), so the streaming pipeline is a drop-in
+for every report/export consumer.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from ..quic.handshake import HandshakeClass
 from ..scanners.orchestrator import CampaignResults
+from ..scanners.streaming import ReducedCampaignResults
+from ..tls.cert_compression import CertificateCompressionAlgorithm
 from .figures import (
     compression,
     figure02b,
@@ -48,8 +56,21 @@ class EvaluationReport:
         return self.sections.keys()
 
 
-def class_shares(results: CampaignResults) -> Dict[HandshakeClass, float]:
+AnyCampaignResults = Union[CampaignResults, ReducedCampaignResults]
+
+
+def class_shares(results: AnyCampaignResults) -> Dict[HandshakeClass, float]:
     """Convenience: handshake class shares at the default Initial size."""
+    if isinstance(results, ReducedCampaignResults):
+        reachable_count = results.scan.reachable_count
+        if not reachable_count:
+            return {}
+        return {
+            handshake_class: results.scan.class_counts.get(handshake_class, 0)
+            / reachable_count
+            for handshake_class in HandshakeClass
+            if handshake_class is not HandshakeClass.UNREACHABLE
+        }
     reachable = results.reachable_handshakes()
     if not reachable:
         return {}
@@ -63,8 +84,7 @@ def class_shares(results: CampaignResults) -> Dict[HandshakeClass, float]:
     return shares
 
 
-def build_report(results: CampaignResults, include_sweep: bool = True) -> EvaluationReport:
-    """Compute every experiment of the evaluation and render a text report."""
+def _eager_sections(results: CampaignResults, include_sweep: bool) -> Dict[str, object]:
     quic = results.quic_deployments()
     https_only = results.https_only_deployments()
     observations = results.handshakes
@@ -90,6 +110,77 @@ def build_report(results: CampaignResults, include_sweep: bool = True) -> Evalua
     sections["figure13"] = figure13.compute(observations)
     sections["figure14"] = figure14.compute(quic)
     sections["table03"] = table03.compute()
+    return sections
+
+
+def _reduced_sections(
+    results: ReducedCampaignResults, include_sweep: bool
+) -> Dict[str, object]:
+    """The same sections, computed from the streaming reduction contract.
+
+    Section names, order and rendered bytes match :func:`_eager_sections`
+    exactly; every figure module's ``compute_from_*`` companion reproduces its
+    eager ``compute``.
+    """
+    scan = results.scan
+    brotli = CertificateCompressionAlgorithm.BROTLI
+
+    sections: Dict[str, object] = {}
+    sections["funnel"] = funnel.compute(scan.funnel, scan.quic_count)
+    sections["figure02b"] = figure02b.compute_from_counts(
+        scan.field_size_counts, scan.certificate_count
+    )
+    if include_sweep and scan.sweep is not None:
+        sections["figure03"] = figure03.compute(scan.sweep)
+    sections["table01"] = table01.compute_from_reduction(
+        scan.wild_support_counts, scan.wild_rates, scan.wild_all_three, scan.wild_count
+    )
+    sections["figure04"] = figure04.compute_from_counts(scan.amp_factor_counts)
+    sections["figure05"] = figure05.compute_from_rows(
+        scan.fig5_rows, scan.fig5_exceeds, scan.fig5_overhead_max
+    )
+    sections["figure06"] = figure06.compute_from_counts(
+        scan.quic_chain_size_counts, scan.https_chain_size_counts
+    )
+    sections["figure07a"] = figure07.compute_from_groups(
+        scan.parent_chain_groups["QUIC"], "QUIC services", scan.parent_chain_totals["QUIC"]
+    )
+    sections["figure07b"] = figure07.compute_from_groups(
+        scan.parent_chain_groups["HTTPS-only"],
+        "HTTPS-only services",
+        scan.parent_chain_totals["HTTPS-only"],
+    )
+    sections["figure08"] = figure08.compute_from_sums(scan.field_sums, scan.field_counts)
+    sections["table02"] = table02.compute_from_counters(
+        scan.key_alg_counters, scan.key_alg_totals
+    )
+    sections["compression"] = compression.compute_from_reduction(
+        scan.synth_rates,
+        scan.synth_below_uncompressed,
+        scan.synth_below_compressed,
+        scan.synth_count,
+        scan.wild_rates[brotli],
+        scan.wild_support_counts.get(brotli, 0),
+        scan.wild_count,
+    )
+    sections["figure09"] = figure09.compute(results.backscatter)
+    sections["meta_prefix"] = meta_prefix.compute(results.meta_probe_before)
+    sections["figure11"] = figure11.compute(results.meta_probe_before, results.meta_probe_after)
+    sections["figure12"] = figure12.compute_from_category_runs(scan.category_runs)
+    sections["figure13"] = figure13.compute_from_series(scan.fig13_ranks, scan.fig13_classes)
+    sections["figure14"] = figure14.compute_from_points(
+        scan.fig14_leaf_sizes, scan.fig14_san_shares
+    )
+    sections["table03"] = table03.compute()
+    return sections
+
+
+def build_report(results: AnyCampaignResults, include_sweep: bool = True) -> EvaluationReport:
+    """Compute every experiment of the evaluation and render a text report."""
+    if isinstance(results, ReducedCampaignResults):
+        sections = _reduced_sections(results, include_sweep)
+    else:
+        sections = _eager_sections(results, include_sweep)
 
     parts: List[str] = ["QUIC / TLS certificate interplay — reproduced evaluation", "=" * 60]
     for name, section in sections.items():

@@ -49,6 +49,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-size", type=int, default=None,
         help="deployments per scan shard (default: 2048; implies the sharded runner)",
     )
+    campaign.add_argument(
+        "--stream", action="store_true",
+        help="streaming reduction pipeline: generate, scan and reduce shard by "
+             "shard so parent memory stays bounded (1M-domain campaigns); "
+             "reports are byte-identical to the eager path",
+    )
 
     predict = subparsers.add_parser("predict", help="predict the handshake class for a chain profile")
     predict.add_argument("--chain", required=True, help="CA chain profile label (see 'profiles')")
@@ -61,13 +67,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_campaign(args: argparse.Namespace) -> int:
-    population = generate_population(PopulationConfig(size=args.size, seed=args.seed))
-    results = MeasurementCampaign(
-        population=population,
-        run_sweep=args.sweep,
-        workers=args.workers,
-        shard_size=args.shard_size,
-    ).run()
+    config = PopulationConfig(size=args.size, seed=args.seed)
+    if args.stream:
+        campaign = MeasurementCampaign(
+            population_config=config,
+            run_sweep=args.sweep,
+            workers=args.workers,
+            shard_size=args.shard_size,
+            stream=True,
+        )
+    else:
+        campaign = MeasurementCampaign(
+            population=generate_population(config),
+            run_sweep=args.sweep,
+            workers=args.workers,
+            shard_size=args.shard_size,
+        )
+    results = campaign.run()
     report = build_report(results, include_sweep=args.sweep)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

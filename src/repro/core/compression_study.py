@@ -101,3 +101,30 @@ def run_all_algorithms(
         algorithm: run_compression_study(chains, algorithm, limit_bytes)
         for algorithm in CertificateCompressionAlgorithm
     }
+
+
+def study_from_reduction(
+    algorithm: CertificateCompressionAlgorithm,
+    rates: Sequence[float],
+    below_limit_uncompressed: int,
+    below_limit_compressed: int,
+    chain_count: int,
+    limit_bytes: int = LARGER_COMMON_LIMIT,
+) -> CompressionStudyResult:
+    """Rebuild the study summary from streamed per-chain reductions.
+
+    ``rates`` must be in chain (= shard concatenation) order so the mean is
+    the identical left-to-right float sum of :func:`run_compression_study`.
+    """
+    if chain_count == 0:
+        return CompressionStudyResult(algorithm, 0, 0.0, 0.0, 0.0, 0.0, limit_bytes)
+    ordered_rates = list(rates)
+    return CompressionStudyResult(
+        algorithm=algorithm,
+        chain_count=chain_count,
+        median_compression_rate=_median(ordered_rates),
+        mean_compression_rate=sum(ordered_rates) / chain_count,
+        share_below_limit_uncompressed=below_limit_uncompressed / chain_count,
+        share_below_limit_compressed=below_limit_compressed / chain_count,
+        limit_bytes=limit_bytes,
+    )

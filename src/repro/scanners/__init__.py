@@ -16,7 +16,10 @@ One module per tool in the paper's Figure 10 pipeline:
 * :mod:`repro.scanners.orchestrator` — step 5: runs the full campaign and
   merges the per-tool outputs into one results bundle for the analysis layer,
 * :mod:`repro.scanners.sharding` — sharded, multi-process execution of the
-  per-domain stages with deterministic merging.
+  per-domain stages with deterministic merging,
+* :mod:`repro.scanners.streaming` — streaming reduction of sharded campaigns:
+  workers ship compact per-shard summaries, the parent merges them
+  order-insensitively, reports stay byte-identical at bounded memory.
 """
 
 from .https_scanner import HttpsScanner, HttpsScanResult, CertificateRecord, ScanFunnel
@@ -26,6 +29,15 @@ from .compression_scanner import CompressionScanner, CompressionObservation
 from .zmap import ZmapScanner, ZmapProbeResult
 from .backscatter import BackscatterAnalyzer, ProviderBackscatter, simulate_spoofed_campaign
 from .orchestrator import MeasurementCampaign, CampaignResults
+from .streaming import (
+    CampaignReducer,
+    ReducedCampaignResults,
+    ReducedScanResults,
+    ReductionSpec,
+    ShardSummary,
+    run_streaming_scan,
+    summarize_shard,
+)
 from .sharding import (
     DEFAULT_SHARD_SIZE,
     MergedScanResults,
@@ -39,6 +51,13 @@ from .sharding import (
 )
 
 __all__ = [
+    "CampaignReducer",
+    "ReducedCampaignResults",
+    "ReducedScanResults",
+    "ReductionSpec",
+    "ShardSummary",
+    "run_streaming_scan",
+    "summarize_shard",
     "DEFAULT_SHARD_SIZE",
     "MergedScanResults",
     "ShardScanResult",

@@ -31,6 +31,13 @@ from ..webpki.population import (
     generate_population,
 )
 from .sharding import DEFAULT_SHARD_SIZE, global_sweep_sample, run_sharded_scan
+from .streaming import (
+    ReducedCampaignResults,
+    ReductionSpec,
+    SPOOF_PROVIDERS,
+    run_streaming_scan,
+    take_per_provider,
+)
 from .backscatter import BackscatterAnalyzer, ProviderBackscatter, simulate_spoofed_campaign
 from .compression_scanner import CompressionObservation, CompressionScanner
 from .https_scanner import HttpsScanner, HttpsScanResult
@@ -49,6 +56,13 @@ TELESCOPE_PREFIX = IPv4Prefix.parse("198.51.100.0/24")
 
 #: The Meta point-of-presence prefix probed in §4.3.
 META_POP_PREFIX = IPv4Prefix.parse("157.240.20.0/24")
+
+#: Domains the Meta PoP hosts serve; mapped to the "meta" provider even when
+#: the scanned population contains no deployment for them.
+META_SERVICE_DOMAINS = (
+    "facebook.com", "fbcdn.net", "instagram.com", "whatsapp.net",
+    "messenger.com", "igcdn.com",
+)
 
 
 @dataclass
@@ -97,6 +111,16 @@ class MeasurementCampaign:
     telescope/ZMap stage (5) always runs in the parent process: it is cheap,
     global (spoof-target selection scans the whole population) and identical
     either way.
+
+    ``stream=True`` switches to the streaming reduction pipeline
+    (:mod:`repro.scanners.streaming`): the population is regenerated shard by
+    shard inside the workers, every shard is reduced to a compact summary
+    before it reaches the parent, and ``run()`` returns a
+    :class:`~repro.scanners.streaming.ReducedCampaignResults` whose report is
+    byte-identical to the eager paths — at bounded parent memory, which is
+    what makes 1M-domain campaigns practical.  Streaming regenerates from
+    ``population_config``; passing a materialised ``population`` would defeat
+    the point and is rejected.
     """
 
     def __init__(
@@ -108,8 +132,20 @@ class MeasurementCampaign:
         spoofed_targets_per_provider: int = 60,
         workers: Optional[int] = None,
         shard_size: Optional[int] = None,
+        stream: bool = False,
     ) -> None:
-        self.population = population or generate_population(population_config)
+        self.stream = stream
+        if stream:
+            if population is not None:
+                raise ValueError(
+                    "stream=True regenerates shards from population_config; "
+                    "pass population_config (or neither), not a materialised population"
+                )
+            self.population = None
+            self.population_config = population_config or PopulationConfig()
+        else:
+            self.population = population or generate_population(population_config)
+            self.population_config = self.population.config
         self.run_sweep = run_sweep
         self.sweep_sample_size = sweep_sample_size
         self.spoofed_targets_per_provider = spoofed_targets_per_provider
@@ -118,7 +154,9 @@ class MeasurementCampaign:
 
     # -- pipeline ---------------------------------------------------------------
 
-    def run(self) -> CampaignResults:
+    def run(self) -> "CampaignResults | ReducedCampaignResults":
+        if self.stream:
+            return self._run_streaming()
         if self.workers is not None or self.shard_size is not None:
             return self._run_sharded()
         return self._run_serial()
@@ -242,14 +280,77 @@ class MeasurementCampaign:
             flight_cache=flight_cache,
         )
 
-    def _run_incomplete_handshake_stage(self, network: UdpNetwork, flight_cache=None):
+    def _run_streaming(self) -> ReducedCampaignResults:
+        """Streaming pipeline: scan + reduce per shard, stage 5 in the parent."""
+        config = self.population_config
+        spec = ReductionSpec(spoof_limit_per_provider=self.spoofed_targets_per_provider)
+        scan = run_streaming_scan(
+            config,
+            workers=self.workers if self.workers is not None else 1,
+            shard_size=self.shard_size if self.shard_size is not None else DEFAULT_SHARD_SIZE,
+            run_sweep=self.run_sweep,
+            sweep_sample_size=self.sweep_sample_size,
+            analysis_initial_size=DEFAULT_ANALYSIS_INITIAL_SIZE,
+            spec=spec,
+        )
+
+        # Stage 5 over a mini-fabric of just the reduced spoof-target
+        # deployments: `probe_unvalidated` depends only on the probed host, so
+        # the backscatter and cache counters equal a full-fabric run.
+        stage5_cache = FlightPlanCache()
+        network = build_network_for(scan.spoof_deployments, flight_cache=stage5_cache)
+        provider_map = {d.domain: d.provider for d in scan.spoof_deployments}
+
+        def provider_of(domain: str) -> Optional[str]:
+            provider = provider_map.get(domain)
+            if provider is not None:
+                return provider
+            if domain in META_SERVICE_DOMAINS:
+                return "meta"
+            return None
+
+        backscatter, meta_probe_before, meta_probe_after = (
+            self._run_incomplete_handshake_stage(
+                network,
+                flight_cache=stage5_cache,
+                spoof_deployments=scan.spoof_deployments,
+                provider_of=provider_of,
+            )
+        )
+
+        stage5_info = stage5_cache.cache_info()
+        flight_cache = FlightCacheInfo(
+            hits=scan.flight_cache.hits + stage5_info.hits,
+            misses=scan.flight_cache.misses + stage5_info.misses,
+            currsize=scan.flight_cache.currsize + stage5_info.currsize,
+            maxsize=max(scan.flight_cache.maxsize, stage5_info.maxsize),
+        )
+
+        return ReducedCampaignResults(
+            scan=scan,
+            population_size=config.size,
+            backscatter=backscatter,
+            meta_probe_before=meta_probe_before,
+            meta_probe_after=meta_probe_after,
+            flight_cache=flight_cache,
+        )
+
+    def _run_incomplete_handshake_stage(
+        self,
+        network: UdpNetwork,
+        flight_cache=None,
+        spoof_deployments: Optional[Sequence[DomainDeployment]] = None,
+        provider_of=None,
+    ):
         """Stage 5: spoofed-source campaign plus the Meta PoP probes."""
         # 5a. Spoofed handshakes observed at the telescope.
         telescope = Telescope()
         network.attach_telescope(TELESCOPE_PREFIX, telescope)
-        spoof_targets = self._pick_spoof_targets(network)
+        if spoof_deployments is None:
+            spoof_deployments = self._pick_spoof_deployments()
+        spoof_targets = self._spoof_targets(network, spoof_deployments)
         simulate_spoofed_campaign(network, spoof_targets, TELESCOPE_PREFIX)
-        analyzer = BackscatterAnalyzer(telescope, self._provider_of_domain)
+        analyzer = BackscatterAnalyzer(telescope, provider_of or self._provider_of_domain)
         backscatter = analyzer.analyze()
 
         # 5b. ZMap-style scan of the Meta point of presence, before and after
@@ -264,33 +365,40 @@ class MeasurementCampaign:
         deployment = self.population.deployment(domain)
         if deployment is not None:
             return deployment.provider
-        if domain in ("facebook.com", "fbcdn.net", "instagram.com", "whatsapp.net",
-                      "messenger.com", "igcdn.com"):
+        if domain in META_SERVICE_DOMAINS:
             return "meta"
         return None
 
-    def _pick_spoof_targets(self, network: UdpNetwork):
-        """Pick the hypergiant-hosted services an attacker would reflect off."""
+    def _pick_spoof_deployments(self) -> List[DomainDeployment]:
+        """The hypergiant-hosted services an attacker would reflect off.
+
+        First ``spoofed_targets_per_provider`` QUIC deployments per hypergiant
+        in deployment (= rank) order — the same selection (and the same code,
+        :func:`~repro.scanners.streaming.take_per_provider`) the streaming
+        reducer assembles from per-shard candidates.
+        """
+        return take_per_provider(
+            self.population.quic_services(),
+            self.spoofed_targets_per_provider,
+            SPOOF_PROVIDERS,
+        )
+
+    def _spoof_targets(
+        self, network: UdpNetwork, spoof_deployments: Sequence[DomainDeployment]
+    ) -> List:
+        """Resolve spoof deployments to addresses and add the Meta PoP hosts.
+
+        The Meta PoP hosts are always included so Meta backscatter is observed
+        even when the sampled population contains few Meta-hosted domains.
+        """
         targets = []
-        per_provider: Dict[str, int] = {}
-        for deployment in self.population.quic_services():
-            provider = deployment.provider or "unknown"
-            if provider not in ("cloudflare", "google", "meta"):
-                continue
-            if per_provider.get(provider, 0) >= self.spoofed_targets_per_provider:
-                continue
+        for deployment in spoof_deployments:
             host = network.host_for_domain(deployment.domain)
-            if host is None:
-                continue
-            per_provider[provider] = per_provider.get(provider, 0) + 1
-            targets.append(host.address)
-        # Always include the Meta PoP hosts so Meta backscatter is observed even
-        # when the sampled population contains few Meta-hosted domains.
-        meta_network = UdpNetwork()
+            if host is not None:
+                targets.append(host.address)
         for host in build_meta_point_of_presence(patched=False, prefix=META_POP_PREFIX):
             network.attach_host(host)
             targets.append(host.address)
-            _ = meta_network  # the hosts live in the main network
         return targets
 
     def _probe_meta_pop(self, patched: bool, flight_cache=None) -> List[ZmapProbeResult]:

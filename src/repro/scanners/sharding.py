@@ -120,6 +120,13 @@ class ShardTask:
     run_sweep: bool = False
     #: This shard's slice of the *globally* computed sweep sample.
     sweep_targets: Tuple[ScanTarget, ...] = ()
+    #: Alternative to ``sweep_targets`` for streaming runs, where the parent
+    #: never sees the deployments: ``(quic_index_offset, stride)``.  The worker
+    #: selects its own sweep targets — the QUIC targets of the shard whose
+    #: *global* QUIC index (offset + local position) is a multiple of the
+    #: stride — reproducing exactly the ``indexed[::stride]`` sample of
+    #: :func:`global_sweep_sample` without shipping any target list.
+    sweep_local_selection: Optional[Tuple[int, int]] = None
     sweep_initial_sizes: Tuple[int, ...] = SWEEP_INITIAL_SIZES
 
     def resolve_deployments(self) -> Tuple[DomainDeployment, ...]:
@@ -167,15 +174,20 @@ class ShardScanResult:
     flight_cache: FlightCacheInfo
 
 
-def scan_shard(task: ShardTask) -> ShardScanResult:
+def scan_shard(
+    task: ShardTask, deployments: Optional[Tuple[DomainDeployment, ...]] = None
+) -> ShardScanResult:
     """Run pipeline stages 1–4 over one shard.
 
     Module-level (not a closure or method) so ``ProcessPoolExecutor`` can
     pickle it; the worker builds the shard's own resolver/origins/network and
-    warms its own flight-plan cache.
+    warms its own flight-plan cache.  ``deployments`` lets callers that have
+    already resolved the shard (the streaming reducer, which also summarises
+    it) skip a second regeneration; it must equal ``task.resolve_deployments()``.
     """
     cache = FlightPlanCache()
-    deployments = task.resolve_deployments()
+    if deployments is None:
+        deployments = task.resolve_deployments()
 
     # 1. HTTPS certificate collection over this shard's names.
     https_scanner = HttpsScanner(
@@ -193,11 +205,21 @@ def scan_shard(task: ShardTask) -> ShardScanResult:
     ]
     handshakes = quicreach.scan_many(targets, task.analysis_initial_size)
 
-    # 2b. This shard's part of the Initial-size sweep.
+    # 2b. This shard's part of the Initial-size sweep.  The sample arrives
+    # either routed by the parent (``sweep_targets``) or is selected locally
+    # from the global stride (``sweep_local_selection``, streaming runs).
+    sweep_targets = task.sweep_targets
+    if task.run_sweep and task.sweep_local_selection is not None:
+        offset, stride = task.sweep_local_selection
+        sweep_targets = tuple(
+            target
+            for position, target in enumerate(targets)
+            if (offset + position) % stride == 0
+        )
     sweep_observations: Tuple[HandshakeObservation, ...] = ()
-    if task.run_sweep and task.sweep_targets:
+    if task.run_sweep and sweep_targets:
         sweep = InitialSizeSweep(quicreach, task.sweep_initial_sizes)
-        sweep_observations = sweep.run(list(task.sweep_targets)).observations
+        sweep_observations = sweep.run(list(sweep_targets)).observations
 
     # 3. Certificates over QUIC and the QUIC-vs-HTTPS comparison.  Both sides
     # of every compared pair live in the same shard, so per-shard counters sum
@@ -328,6 +350,18 @@ def merge_shard_results(
 # Driving a full sharded scan
 # ---------------------------------------------------------------------------
 
+def sweep_sample_stride(total_quic_targets: int, sweep_sample_size: Optional[int]) -> int:
+    """The sampling stride of the Figure 3 sweep over the global QUIC targets.
+
+    Shared by :func:`global_sweep_sample` (eager runs, where the parent holds
+    the targets) and the streaming runner (where workers select locally from
+    ``(offset, stride)``), so the two sampling paths cannot drift apart.
+    """
+    if sweep_sample_size is None or total_quic_targets <= sweep_sample_size:
+        return 1
+    return max(1, total_quic_targets // sweep_sample_size)
+
+
 def global_sweep_sample(
     deployments: Sequence[DomainDeployment],
     sweep_sample_size: Optional[int],
@@ -345,10 +379,8 @@ def global_sweep_sample(
         for index, d in enumerate(deployments)
         if d.category is ServiceCategory.QUIC
     ]
-    if sweep_sample_size is not None and len(indexed) > sweep_sample_size:
-        stride = max(1, len(indexed) // sweep_sample_size)
-        indexed = indexed[::stride]
-    return indexed
+    stride = sweep_sample_stride(len(indexed), sweep_sample_size)
+    return indexed[::stride]
 
 
 def build_shard_tasks(

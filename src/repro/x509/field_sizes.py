@@ -116,3 +116,27 @@ def mean_field_sizes(certificates: Iterable[Certificate]) -> CertificateFieldSiz
         other=avg(lambda m: m.other),
         total=avg(lambda m: m.total),
     )
+
+
+def mean_from_sums(sums: Dict[str, int], count: int) -> CertificateFieldSizes:
+    """Mean field sizes from exact integer per-field sums over ``count`` certs.
+
+    The integer sums are order-insensitive, so streaming reducers can merge
+    them per shard and still round to exactly what :func:`mean_field_sizes`
+    computes over the same certificates.
+    """
+    if count == 0:
+        return CertificateFieldSizes(0, 0, 0, 0, 0, 0, 0)
+
+    def avg(name: str) -> int:
+        return int(round(sums[name] / count))
+
+    return CertificateFieldSizes(
+        subject=avg("subject"),
+        issuer=avg("issuer"),
+        public_key_info=avg("public_key_info"),
+        extensions=avg("extensions"),
+        signature=avg("signature"),
+        other=avg("other"),
+        total=avg("total"),
+    )

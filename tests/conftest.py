@@ -15,6 +15,14 @@ from repro.webpki.population import InternetPopulation, PopulationConfig, genera
 from repro.x509.ca import WebPkiHierarchy, default_hierarchy
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "memory_budget: slow peak-RSS budget tests (env-gated via "
+        "REPRO_MEMORY_BUDGET_TESTS; CI deselects with -m 'not memory_budget')",
+    )
+
+
 @pytest.fixture(scope="session")
 def hierarchy() -> WebPkiHierarchy:
     """The (cached, deterministic) Web PKI hierarchy."""

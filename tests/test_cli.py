@@ -47,6 +47,20 @@ class TestCommands:
         assert main(["predict", "--chain", "No Such CA"]) == 2
         assert "unknown chain profile" in capsys.readouterr().err
 
+    def test_campaign_stream_flag_parses(self):
+        args = build_parser().parse_args(["campaign", "--stream", "--workers", "2"])
+        assert args.stream and args.workers == 2
+        assert not build_parser().parse_args(["campaign"]).stream
+
+    def test_streamed_campaign_writes_report(self, tmp_path, capsys):
+        output_file = tmp_path / "streamed.txt"
+        assert main(
+            ["campaign", "--size", "300", "--stream", "--output", str(output_file)]
+        ) == 0
+        content = output_file.read_text()
+        assert "figure06" in content
+        assert "Table 2" in content
+
     def test_campaign_writes_report(self, tmp_path, capsys):
         output_file = tmp_path / "report.txt"
         export_dir = tmp_path / "export"

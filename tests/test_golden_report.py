@@ -1,0 +1,77 @@
+"""Golden-report regression: every figure/table artefact is byte-pinned.
+
+``tests/golden/report_digests.json`` stores the SHA-256 of the rendered text
+report and of every exported CSV for a small fixed-seed campaign.  Any byte
+drift — a reordered row, a changed float format, a semantic change to a
+scanner — fails here before it can silently change the reproduced evaluation.
+
+Regenerate (after reviewing the change is intentional!) with:
+
+    PYTHONPATH=src python scripts/regenerate_golden.py
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden", "report_digests.json")
+SCRIPT_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "scripts", "regenerate_golden.py"
+)
+
+
+def _load_regenerator():
+    spec = importlib.util.spec_from_file_location("regenerate_golden", SCRIPT_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def regenerated(golden):
+    module = _load_regenerator()
+    return module.compute_golden_digests(golden["campaign"])
+
+
+class TestGoldenReport:
+    def test_every_pinned_artefact_is_byte_identical(self, golden, regenerated):
+        drifted = {
+            name: (digest, regenerated.get(name))
+            for name, digest in golden["digests"].items()
+            if regenerated.get(name) != digest
+        }
+        assert not drifted, (
+            "golden artefacts drifted (review, then regenerate with "
+            "'PYTHONPATH=src python scripts/regenerate_golden.py'): "
+            f"{sorted(drifted)}"
+        )
+
+    def test_no_unpinned_artefacts_appear(self, golden, regenerated):
+        extra = set(regenerated) - set(golden["digests"])
+        assert not extra, (
+            "new exported artefacts are not golden-pinned (regenerate with "
+            "'PYTHONPATH=src python scripts/regenerate_golden.py'): "
+            f"{sorted(extra)}"
+        )
+
+    def test_golden_set_covers_the_full_evaluation(self, golden):
+        names = set(golden["digests"])
+        assert "evaluation.txt" in names
+        # One artefact per report section (CDF sections export several files).
+        for prefix in (
+            "funnel", "figure02b", "figure03", "figure04", "figure05", "figure06",
+            "figure07a", "figure07b", "figure08", "figure09", "figure11",
+            "figure12", "figure13", "figure14", "table01", "table02", "table03",
+            "compression", "meta_prefix",
+        ):
+            assert any(name.startswith(prefix) for name in names), prefix

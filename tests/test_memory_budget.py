@@ -1,0 +1,69 @@
+"""Pinned parent-memory budget for streamed campaigns.
+
+The whole point of the streaming reduction pipeline is that the parent never
+materialises the population: a streamed 100k-domain campaign (plus its full
+report) must fit a pinned peak-RSS budget — the eager path needs ~600 MB for
+the population alone at this size (docs/PERFORMANCE.md).
+
+The campaign takes a couple of minutes single-core, so the test is marked
+``memory_budget`` (CI deselects it with ``-m "not memory_budget"``) and
+additionally env-gated: set ``REPRO_MEMORY_BUDGET_TESTS=1`` to run it.  The
+measurement runs in a fresh subprocess so earlier tests cannot inflate the
+RSS high-water mark.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+#: Peak parent RSS allowed for a streamed 100k-domain campaign + report.
+#: Measured ~180 MB on the reference container (docs/PERFORMANCE.md) — much
+#: of it the bounded client-side LRU memos, not the reduction state.
+#: The budget leaves headroom for allocator/platform variance while still
+#: catching any reduction regression that starts retaining chains.
+BUDGET_MB = 300
+
+CAMPAIGN_SOURCE = """
+import resource
+from repro.analysis.report import build_report
+from repro.scanners import MeasurementCampaign
+from repro.webpki.population import PopulationConfig
+
+results = MeasurementCampaign(
+    population_config=PopulationConfig(size=100_000, seed=2022),
+    stream=True,
+).run()
+report = build_report(results)
+assert results.scan.deployment_count == 100_000
+assert len(report.text) > 4000
+print(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+"""
+
+
+@pytest.mark.memory_budget
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_MEMORY_BUDGET_TESTS"),
+    reason="set REPRO_MEMORY_BUDGET_TESTS=1 to run the (slow) memory-budget test",
+)
+def test_streamed_100k_campaign_stays_under_memory_budget():
+    environment = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    environment["PYTHONPATH"] = os.path.abspath(src)
+    completed = subprocess.run(
+        [sys.executable, "-c", CAMPAIGN_SOURCE],
+        capture_output=True,
+        text=True,
+        env=environment,
+        check=True,
+    )
+    peak_rss = int(completed.stdout.strip().splitlines()[-1])
+    # ru_maxrss is kilobytes on Linux but bytes on macOS.
+    peak_rss_mb = peak_rss / (1024 * 1024 if sys.platform == "darwin" else 1024)
+    assert peak_rss_mb < BUDGET_MB, (
+        f"streamed 100k campaign peaked at {peak_rss_mb:.0f} MB "
+        f"(budget {BUDGET_MB} MB) — the reduction is retaining too much"
+    )

@@ -165,3 +165,106 @@ def test_initial_size_cache_suggestions_are_valid(flight_bytes, achieved):
     # The suggestion, if it fits below the MTU, gives the server enough budget.
     if entry.suggested_initial_size < 1472:
         assert 3 * entry.suggested_initial_size >= min(flight_bytes, 3 * 1472)
+
+
+# ---------------------------------------------------------------------------
+# Streaming reduction invariants
+# ---------------------------------------------------------------------------
+
+from functools import lru_cache
+
+from repro.scanners.sharding import ShardTask, plan_shards, scan_shard
+from repro.scanners.streaming import CampaignReducer, ReductionSpec, summarize_shard
+from repro.webpki.population import PopulationConfig
+
+_REDUCTION_SPEC = ReductionSpec(spoof_limit_per_provider=5)
+_REDUCTION_SWEEP_SIZES = (1200, 1350, 1472)
+
+
+@lru_cache(maxsize=1)
+def _shard_summaries():
+    """Six real shard summaries of a small campaign, computed once."""
+    config = PopulationConfig(size=384, seed=13)
+    summaries = []
+    offset = 0
+    for spec in plan_shards(config.size, 64):
+        task = ShardTask(
+            index=spec.index,
+            population_config=config,
+            start=spec.start,
+            stop=spec.stop,
+            run_sweep=True,
+            sweep_local_selection=(offset, 7),
+            sweep_initial_sizes=_REDUCTION_SWEEP_SIZES,
+        )
+        deployments = tuple(task.resolve_deployments())
+        offset += sum(1 for d in deployments if d.category.value == "quic")
+        scan = scan_shard(task, deployments=deployments)
+        summaries.append(summarize_shard(task, deployments, scan, _REDUCTION_SPEC))
+    return tuple(summaries)
+
+
+def _fresh_reducer():
+    return CampaignReducer(
+        spec=_REDUCTION_SPEC, run_sweep=True, sweep_initial_sizes=_REDUCTION_SWEEP_SIZES
+    )
+
+
+@lru_cache(maxsize=1)
+def _reference_reduction():
+    reducer = _fresh_reducer()
+    for summary in _shard_summaries():
+        reducer.add(summary)
+    return reducer.reduced_scan()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.permutations(range(6)))
+def test_campaign_reduction_is_shard_order_insensitive(order):
+    """Adding shard summaries in any order yields the identical reduction."""
+    summaries = _shard_summaries()
+    reducer = _fresh_reducer()
+    for index in order:
+        reducer.add(summaries[index])
+    reduced = reducer.reduced_scan()
+    reference = _reference_reduction()
+    assert reduced == reference
+    assert reduced.flight_cache == reference.flight_cache
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.integers(min_value=1, max_value=5), max_size=5, unique=True),
+    st.permutations(range(6)),
+)
+def test_campaign_reduction_merge_is_associative(cuts, order):
+    """Partitioning shards into sub-reducers and merging them in any order
+    equals reducing everything in one go (merge is associative and
+    commutative), flight-cache counters included."""
+    summaries = _shard_summaries()
+    boundaries = [0] + sorted(cuts) + [6]
+    groups = [
+        [order[i] for i in range(start, stop)]
+        for start, stop in zip(boundaries, boundaries[1:])
+        if stop > start
+    ]
+    partial_reducers = []
+    for group in groups:
+        partial = _fresh_reducer()
+        for index in group:
+            partial.add(summaries[index])
+        partial_reducers.append(partial)
+    combined = partial_reducers[0]
+    for partial in partial_reducers[1:]:
+        combined.merge(partial)
+    assert combined.reduced_scan() == _reference_reduction()
+
+
+def test_campaign_reduction_rejects_duplicate_shards():
+    import pytest
+
+    summaries = _shard_summaries()
+    reducer = _fresh_reducer()
+    reducer.add(summaries[0])
+    with pytest.raises(ValueError):
+        reducer.add(summaries[0])
