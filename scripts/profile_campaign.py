@@ -1,27 +1,43 @@
 #!/usr/bin/env python
-"""Profile the benchmark measurement campaign under cProfile.
+"""Profile the benchmark measurement campaign.
 
-Runs the same 2,500-domain campaign as ``benchmarks/conftest.py`` (sweep
-enabled) plus the full report, and prints the top cumulative entries so perf
-PRs can ship before/after evidence gathered the same way.
+Two modes:
+
+* default — run the 2,500-domain campaign of ``benchmarks/conftest.py``
+  (sweep enabled) plus the full report under ``cProfile`` and print the top
+  cumulative entries, so perf PRs can ship before/after evidence gathered the
+  same way.
+* ``--phases`` — drive the streaming pipeline shard by shard with a stopwatch
+  around each stage and print (or, with ``--json``, write to
+  ``BENCH_campaign.json``) a per-phase wall-clock breakdown:
+  generation / scan / reduce / report, plus the skeleton-pass cost of the
+  sweep discovery pass.  This file seeds the repo's perf trajectory; CI
+  uploads it as a per-PR artifact.
 
 Usage::
 
     PYTHONPATH=src python scripts/profile_campaign.py [--size 2500] [--top 25]
                                                       [--sort cumulative|tottime]
                                                       [--skip-report]
+    PYTHONPATH=src python scripts/profile_campaign.py --phases [--size 2500]
+                                                      [--json [PATH]]
 """
 
 from __future__ import annotations
 
 import argparse
 import cProfile
+import json
+import platform
 import pstats
 import sys
 import time
 
 
-def main() -> int:
+DEFAULT_JSON_PATH = "BENCH_campaign.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--size", type=int, default=2500, help="population size")
     parser.add_argument("--seed", type=int, default=2022, help="population seed")
@@ -32,8 +48,152 @@ def main() -> int:
     parser.add_argument(
         "--skip-report", action="store_true", help="profile the campaign only"
     )
-    args = parser.parse_args()
+    parser.add_argument(
+        "--phases", action="store_true",
+        help="per-stage wall-clock breakdown (generation / scan / reduce / report) "
+             "instead of a cProfile run",
+    )
+    parser.add_argument(
+        "--json", nargs="?", const=DEFAULT_JSON_PATH, default=None, metavar="PATH",
+        help=f"with --phases: also write the breakdown as JSON "
+             f"(default path: {DEFAULT_JSON_PATH})",
+    )
+    parser.add_argument(
+        "--shard-size", type=int, default=None,
+        help="with --phases: deployments per shard (default: 2048)",
+    )
+    return parser
 
+
+def run_phases(args: argparse.Namespace) -> int:
+    """Time each streaming-pipeline stage separately over one campaign."""
+    from repro.analysis.report import build_report
+    from repro.scanners.orchestrator import MeasurementCampaign
+    from repro.scanners.sharding import (
+        DEFAULT_SHARD_SIZE,
+        ShardTask,
+        plan_shards,
+        scan_shard,
+    )
+    from repro.scanners.streaming import (
+        CampaignReducer,
+        ReductionSpec,
+        summarize_shard,
+    )
+    from repro.webpki.population import PopulationConfig
+
+    config = PopulationConfig(size=args.size, seed=args.seed)
+    shard_size = args.shard_size or DEFAULT_SHARD_SIZE
+    # Defaults match `repro campaign --stream` (spoof cap 60), so the phase
+    # breakdown decomposes exactly the campaign the CLI runs.
+    spec = ReductionSpec()
+    tasks = [
+        ShardTask(
+            index=shard.index,
+            population_config=config,
+            start=shard.start,
+            stop=shard.stop,
+        )
+        for shard in plan_shards(config.size, shard_size)
+    ]
+
+    # Warm the memoized ranked list so the discovery and generation phases
+    # are timed on equal footing (in a real sweep run both share one build).
+    from repro.webpki.tranco import generate_tranco_list
+
+    generate_tranco_list(config.size, seed=config.seed)
+
+    total_start = time.perf_counter()
+
+    # Discovery pass (skeleton generation only) — what `--stream --sweep`
+    # pays to count QUIC targets before the scan pass.
+    t0 = time.perf_counter()
+    quic_targets = 0
+    for task in tasks:
+        skeletons = task.resolve_skeletons()
+        quic_targets += sum(1 for s in skeletons if s.supports_quic)
+    discovery = time.perf_counter() - t0
+
+    # Streaming stages, stopwatch around each: generation (shard
+    # regeneration, chains included), scan (stages 1–4), reduce (summarise +
+    # fold).  Identical results to `repro campaign --stream` by construction.
+    generation = scan_seconds = reduce_seconds = 0.0
+    reducer = CampaignReducer(spec=spec, run_sweep=False)
+    for task in tasks:
+        t0 = time.perf_counter()
+        deployments = tuple(task.resolve_deployments())
+        t1 = time.perf_counter()
+        scan = scan_shard(task, deployments=deployments)
+        t2 = time.perf_counter()
+        reducer.add(summarize_shard(task, deployments, scan, spec))
+        t3 = time.perf_counter()
+        generation += t1 - t0
+        scan_seconds += t2 - t1
+        reduce_seconds += t3 - t2
+
+    t0 = time.perf_counter()
+    reduced = reducer.reduced_scan()
+    campaign = MeasurementCampaign(population_config=config, stream=True)
+    results = campaign.finalize_streaming(reduced)
+    reduce_seconds += time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    report = build_report(results, include_sweep=False)
+    report_seconds = time.perf_counter() - t0
+    total = time.perf_counter() - total_start
+
+    phases = {
+        "generation": round(generation, 4),
+        "scan": round(scan_seconds, 4),
+        "reduce": round(reduce_seconds, 4),
+        "report": round(report_seconds, 4),
+        "total": round(total, 4),
+    }
+    discovery_block = {
+        "skeleton_pass": round(discovery, 4),
+        "full_regeneration": round(generation, 4),
+        "speedup": round(generation / discovery, 2) if discovery else None,
+        "quic_targets": quic_targets,
+    }
+
+    print(f"campaign phases ({config.size} domains, seed {config.seed}, "
+          f"shard size {shard_size}, streamed, no sweep):")
+    for name in ("generation", "scan", "reduce", "report", "total"):
+        print(f"  {name:<11s} {phases[name]:8.2f} s")
+    print(f"discovery pass (skeletons only): {discovery:6.2f} s "
+          f"({discovery_block['speedup']}x cheaper than regeneration, "
+          f"{quic_targets} QUIC targets)")
+    info = results.flight_cache
+    if info is not None:
+        print(
+            f"flight-plan cache: {info.hits} hits / {info.misses} misses "
+            f"({info.hit_rate:.1%} hit rate, {info.currsize} entries)"
+        )
+
+    if args.json:
+        payload = {
+            "schema": "repro-campaign-phases/1",
+            "config": {
+                "size": config.size,
+                "seed": config.seed,
+                "shard_size": shard_size,
+                "stream": True,
+                "sweep": False,
+            },
+            "phases": phases,
+            "discovery_pass": discovery_block,
+            "report_bytes": len(report.text),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"phase breakdown written to {args.json}")
+    return 0
+
+
+def run_cprofile(args: argparse.Namespace) -> int:
     from repro.analysis.report import build_report
     from repro.scanners.orchestrator import MeasurementCampaign
     from repro.webpki.population import PopulationConfig, generate_population
@@ -71,6 +231,13 @@ def main() -> int:
             f"({info.hit_rate:.1%} hit rate, {info.currsize} entries)"
         )
     return 0
+
+
+def main() -> int:
+    args = build_parser().parse_args()
+    if args.phases:
+        return run_phases(args)
+    return run_cprofile(args)
 
 
 if __name__ == "__main__":

@@ -1,45 +1,111 @@
-"""Empirical cumulative distribution functions (most paper figures are CDFs)."""
+"""Empirical cumulative distribution functions (most paper figures are CDFs).
+
+:class:`EmpiricalCdf` is count-backed: it stores the sorted *unique* values
+plus their cumulative multiplicities instead of one entry per sample.  Chain
+sizes, field sizes and amplification factors repeat heavily across millions of
+domains, so the streaming reducer's ``value -> multiplicity`` accumulators
+(:meth:`EmpiricalCdf.from_counts`) flow into report rendering without ever
+materialising a million-element value tuple — quantiles, probabilities and
+plot points are answered from the cumulative counts directly, byte-identically
+to the expanded form.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, List, Mapping, Sequence, Tuple
+from bisect import bisect_right
+from itertools import accumulate, repeat
+from typing import Iterable, List, Mapping, Tuple
 
 
-@dataclass(frozen=True)
 class EmpiricalCdf:
-    """An empirical CDF over a sample of values."""
+    """An empirical CDF over a sample of values (count-backed storage)."""
 
-    values: Tuple[float, ...]
+    __slots__ = ("unique_values", "cumulative_counts", "_values")
+
+    def __init__(self, values: Iterable[float] = ()) -> None:
+        ordered = sorted(float(v) for v in values)
+        unique: List[float] = []
+        cumulative: List[int] = []
+        for index, value in enumerate(ordered):
+            if not unique or value != unique[-1]:
+                unique.append(value)
+                cumulative.append(index + 1)
+            else:
+                cumulative[-1] = index + 1
+        self.unique_values: Tuple[float, ...] = tuple(unique)
+        self.cumulative_counts: Tuple[int, ...] = tuple(cumulative)
+        self._values = tuple(ordered)
 
     @classmethod
     def from_values(cls, values: Iterable[float]) -> "EmpiricalCdf":
-        return cls(tuple(sorted(float(v) for v in values)))
+        return cls(values)
 
     @classmethod
     def from_counts(cls, counts: Mapping[float, int]) -> "EmpiricalCdf":
-        """Build the CDF from a ``value -> multiplicity`` accumulator.
+        """Build the CDF straight from a ``value -> multiplicity`` accumulator.
 
-        Equals ``from_values`` over the expanded multiset, but repeated values
-        share one float object each, so million-sample CDFs merged from
-        streaming count accumulators cost one pointer per sample instead of
-        one boxed float per sample.
+        Equals ``from_values`` over the expanded multiset, but the multiset is
+        never expanded: streaming count-accumulators become a CDF in
+        O(distinct values), and giant-campaign reports render without the
+        value-tuple materialisation.
         """
-        values: List[float] = []
-        for value in sorted(float(v) for v in counts):
-            values.extend([value] * counts[value])
-        return cls(tuple(values))
+        cdf = cls.__new__(cls)
+        normalised: dict = {}
+        for value, count in counts.items():
+            value = float(value)
+            normalised[value] = normalised.get(value, 0) + count
+        unique = tuple(sorted(normalised))
+        cdf.unique_values = unique
+        cdf.cumulative_counts = tuple(
+            accumulate(normalised[value] for value in unique)
+        )
+        cdf._values = None
+        return cdf
 
-    def __post_init__(self) -> None:
-        if list(self.values) != sorted(self.values):
-            object.__setattr__(self, "values", tuple(sorted(self.values)))
+    # -- sample-level view -------------------------------------------------------
+
+    @property
+    def values(self) -> Tuple[float, ...]:
+        """The full sorted sample, expanded lazily (compatibility accessor).
+
+        Count-backed consumers never call this; it exists for callers that
+        want the raw multiset and is materialised at most once per instance.
+        """
+        if self._values is None:
+            expanded: List[float] = []
+            previous = 0
+            for value, cumulative in zip(self.unique_values, self.cumulative_counts):
+                expanded.extend(repeat(value, cumulative - previous))
+                previous = cumulative
+            self._values = tuple(expanded)
+        return self._values
+
+    def value_at(self, index: int) -> float:
+        """The ``index``-th (0-based) element of the sorted sample."""
+        return self.unique_values[bisect_right(self.cumulative_counts, index)]
 
     def __len__(self) -> int:
-        return len(self.values)
+        return self.cumulative_counts[-1] if self.cumulative_counts else 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EmpiricalCdf):
+            return NotImplemented
+        return (
+            self.unique_values == other.unique_values
+            and self.cumulative_counts == other.cumulative_counts
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.unique_values, self.cumulative_counts))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EmpiricalCdf(n={len(self)}, distinct={len(self.unique_values)})"
+        )
 
     @property
     def is_empty(self) -> bool:
-        return not self.values
+        return not self.unique_values
 
     # -- evaluation -------------------------------------------------------------
 
@@ -47,15 +113,9 @@ class EmpiricalCdf:
         """P(X <= x)."""
         if self.is_empty:
             return 0.0
-        # binary search for rightmost value <= x
-        lo, hi = 0, len(self.values)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if self.values[mid] <= x:
-                lo = mid + 1
-            else:
-                hi = mid
-        return lo / len(self.values)
+        position = bisect_right(self.unique_values, x)
+        below = self.cumulative_counts[position - 1] if position else 0
+        return below / len(self)
 
     def quantile(self, q: float) -> float:
         """Smallest x with P(X <= x) >= q."""
@@ -63,8 +123,9 @@ class EmpiricalCdf:
             raise ValueError("quantile must be within [0, 1]")
         if self.is_empty:
             return 0.0
-        index = min(max(int(q * len(self.values) + 0.999999) - 1, 0), len(self.values) - 1)
-        return self.values[index]
+        total = len(self)
+        index = min(max(int(q * total + 0.999999) - 1, 0), total - 1)
+        return self.value_at(index)
 
     @property
     def median(self) -> float:
@@ -76,19 +137,20 @@ class EmpiricalCdf:
         """(x, P(X <= x)) pairs, downsampled for rendering."""
         if self.is_empty:
             return []
-        step = max(1, len(self.values) // max_points)
+        total = len(self)
+        step = max(1, total // max_points)
         points = []
-        for index in range(0, len(self.values), step):
-            points.append((self.values[index], (index + 1) / len(self.values)))
+        for index in range(0, total, step):
+            points.append((self.value_at(index), (index + 1) / total))
         if points[-1][1] != 1.0:
-            points.append((self.values[-1], 1.0))
+            points.append((self.unique_values[-1], 1.0))
         return points
 
     def render_text(self, label: str = "value", width: int = 50, rows: int = 12) -> str:
         """A coarse ASCII rendering of the CDF for terminal reports."""
         if self.is_empty:
             return f"(empty CDF of {label})"
-        lines = [f"CDF of {label} (n={len(self.values)})"]
+        lines = [f"CDF of {label} (n={len(self)})"]
         for row in range(rows, 0, -1):
             q = row / rows
             x = self.quantile(q)

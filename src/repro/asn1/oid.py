@@ -21,7 +21,13 @@ class ObjectIdentifier:
         return tuple(int(part) for part in self.dotted.split("."))
 
     def encode(self) -> bytes:
-        return encode_oid(self.dotted)
+        # Memoized on the frozen instance: the OID registry is a fixed set of
+        # objects that leaf issuance encodes millions of times per campaign.
+        encoded = getattr(self, "_encoded", None)
+        if encoded is None:
+            encoded = encode_oid(self.dotted)
+            object.__setattr__(self, "_encoded", encoded)
+        return encoded
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.name or self.dotted

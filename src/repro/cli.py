@@ -55,6 +55,12 @@ def build_parser() -> argparse.ArgumentParser:
              "shard so parent memory stays bounded (1M-domain campaigns); "
              "reports are byte-identical to the eager path",
     )
+    campaign.add_argument(
+        "--timings", action="store_true",
+        help="print per-phase wall clock (generation / campaign / report) to "
+             "stderr; see scripts/profile_campaign.py --phases for the full "
+             "per-stage breakdown",
+    )
 
     predict = subparsers.add_parser("predict", help="predict the handshake class for a chain profile")
     predict.add_argument("--chain", required=True, help="CA chain profile label (see 'profiles')")
@@ -67,8 +73,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_campaign(args: argparse.Namespace) -> int:
+    import time
+
     config = PopulationConfig(size=args.size, seed=args.seed)
+    t0 = time.perf_counter()
     if args.stream:
+        # Streaming regenerates inside the workers: generation time is part of
+        # the campaign phase (scripts/profile_campaign.py --phases splits it).
         campaign = MeasurementCampaign(
             population_config=config,
             run_sweep=args.sweep,
@@ -83,8 +94,15 @@ def _run_campaign(args: argparse.Namespace) -> int:
             workers=args.workers,
             shard_size=args.shard_size,
         )
+    t1 = time.perf_counter()
     results = campaign.run()
+    t2 = time.perf_counter()
     report = build_report(results, include_sweep=args.sweep)
+    t3 = time.perf_counter()
+    if args.timings:
+        print(f"population generation: {t1 - t0:8.2f} s", file=sys.stderr)
+        print(f"campaign:              {t2 - t1:8.2f} s", file=sys.stderr)
+        print(f"report:                {t3 - t2:8.2f} s", file=sys.stderr)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report.text + "\n")

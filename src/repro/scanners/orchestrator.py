@@ -293,6 +293,16 @@ class MeasurementCampaign:
             analysis_initial_size=DEFAULT_ANALYSIS_INITIAL_SIZE,
             spec=spec,
         )
+        return self.finalize_streaming(scan)
+
+    def finalize_streaming(self, scan) -> ReducedCampaignResults:
+        """Stage 5 + result assembly over already-reduced stages 1–4.
+
+        Public seam for callers that drive the shard loop themselves — the
+        phase profiler (``scripts/profile_campaign.py --phases``) and, later,
+        checkpoint/resume from persisted ``ShardSummary`` sets.
+        """
+        config = self.population_config
 
         # Stage 5 over a mini-fabric of just the reduced spoof-target
         # deployments: `probe_unvalidated` depends only on the probed host, so

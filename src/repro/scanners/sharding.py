@@ -28,7 +28,6 @@ from __future__ import annotations
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..quic.server import FlightCacheInfo, FlightPlanCache
@@ -141,15 +140,38 @@ class ShardTask:
             return self.deployments
         if self.population_config is None:
             raise ValueError("shard task carries neither deployments nor a config")
-        tranco = _cached_tranco(self.population_config.size, self.population_config.seed)
+        tranco = _cached_tranco(self.population_config.size, seed=self.population_config.seed)
         return tuple(
             deployments_for_range(self.population_config, self.start, self.stop, tranco=tranco)
         )
 
+    def resolve_skeletons(self) -> Sequence:
+        """Cheap, count-only view of the shard (no certificate issuance).
+
+        For recipe-form tasks this runs only the skeleton pass of two-phase
+        generation (:mod:`repro.webpki.skeleton`) — the basis of the near-free
+        sweep discovery pass.  Tasks that already hold materialised
+        deployments (by value or fork-shared) return those: every counting
+        attribute (``category``, ``rank``, ``provider``, …) reads identically
+        off skeletons and deployments.
+        """
+        if self.use_fork_shared or self.deployments is not None:
+            return self.resolve_deployments()
+        if self.population_config is None:
+            raise ValueError("shard task carries neither deployments nor a config")
+        tranco = _cached_tranco(self.population_config.size, seed=self.population_config.seed)
+        return tuple(
+            deployments_for_range(
+                self.population_config, self.start, self.stop, tranco=tranco, skeleton=True
+            )
+        )
+
 
 #: Per-process memo of the (names-only) ranked list, so a worker that scans
-#: several shards of the same population regenerates it once.
-_cached_tranco = lru_cache(maxsize=4)(generate_tranco_list)
+#: several shards of the same population regenerates it once.  The memo now
+#: lives on ``generate_tranco_list`` itself (every regeneration path shares
+#: it); the alias keeps this module's call sites self-describing.
+_cached_tranco = generate_tranco_list
 
 #: Deployment list published for fork-started workers.  Set by
 #: :func:`run_sharded_scan` immediately before the pool forks; child processes

@@ -384,10 +384,15 @@ def _scan_and_summarize(payload: Tuple[ShardTask, ReductionSpec]) -> ShardSummar
 
 
 def _count_quic_targets(task: ShardTask) -> Tuple[int, int]:
-    """Sweep discovery pass: how many QUIC targets live in this shard."""
-    deployments = task.resolve_deployments()
+    """Sweep discovery pass: how many QUIC targets live in this shard.
+
+    Counts from phase-1 skeletons (no certificate issuance), so with
+    ``--stream --sweep`` the population's chains are generated once — by the
+    scan pass — instead of twice.
+    """
+    skeletons = task.resolve_skeletons()
     return task.index, sum(
-        1 for deployment in deployments if deployment.category is ServiceCategory.QUIC
+        1 for skeleton in skeletons if skeleton.category is ServiceCategory.QUIC
     )
 
 
@@ -914,11 +919,12 @@ def run_streaming_scan(
 
     The parent never materialises the population: tasks carry only
     ``(config, index range)``; workers regenerate, scan and reduce their
-    shard, and ship back a :class:`ShardSummary`.  With ``run_sweep`` a cheap
-    discovery pass first counts QUIC targets per shard so workers can select
-    their slice of the globally-strided sweep sample locally (this regenerates
-    the population once more — the price of sampling a population nobody
-    holds).
+    shard, and ship back a :class:`ShardSummary`.  With ``run_sweep`` a
+    near-free discovery pass first counts QUIC targets per shard so workers
+    can select their slice of the globally-strided sweep sample locally; the
+    count comes from phase-1 skeletons (two-phase generation), so the
+    population's certificate chains are generated once — by the scan pass —
+    not twice.
     """
     if workers <= 0:
         raise ValueError("workers must be positive")
@@ -929,8 +935,8 @@ def run_streaming_scan(
     selections: List[Optional[Tuple[int, int]]] = [None] * len(shard_specs)
     if run_sweep and sweep_sample_size is None:
         # Unsampled sweep: the stride is 1 whatever the QUIC-target count, so
-        # skip the discovery pass entirely (it would regenerate the whole
-        # population just to compute counts that cannot affect the result).
+        # skip the discovery pass entirely (even skeleton counts cannot
+        # affect the result).
         selections = [(0, 1)] * len(shard_specs)
     elif run_sweep:
         count_tasks = [

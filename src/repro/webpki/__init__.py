@@ -20,11 +20,13 @@ from .providers import (
     sample_san_count,
 )
 from .deployment import DomainDeployment, ServiceCategory
+from .skeleton import ChainSpec, DeploymentSkeleton
 from .population import (
     GENERATION_SHARD_SIZE,
     InternetPopulation,
     PopulationConfig,
     PopulationShard,
+    SkeletonShard,
     deployments_for_range,
     generate_population,
     generate_shard,
@@ -42,10 +44,13 @@ __all__ = [
     "sample_san_count",
     "DomainDeployment",
     "ServiceCategory",
+    "ChainSpec",
+    "DeploymentSkeleton",
     "GENERATION_SHARD_SIZE",
     "InternetPopulation",
     "PopulationConfig",
     "PopulationShard",
+    "SkeletonShard",
     "deployments_for_range",
     "generate_population",
     "generate_shard",

@@ -32,10 +32,16 @@ from ..quic.profiles import (
     RFC_COMPLIANT_NO_COMPRESSION,
     ServerBehaviorProfile,
 )
-from ..x509.ca import CAProfile, default_hierarchy
-from ..x509.chain import CertificateChain
+from ..x509.ca import default_hierarchy
 from ..x509.keys import KeyAlgorithm
 from .deployment import DomainDeployment, ServiceCategory
+from .skeleton import (
+    ChainSpec,
+    DeploymentSkeleton,
+    category_counts,
+    draw_bloat_extras,
+    san_names_for,
+)
 from .providers import (
     HTTPS_ONLY_ARCHETYPES,
     PROVIDERS,
@@ -163,6 +169,12 @@ class InternetPopulation:
 # exactly the sub-fabric the subset's scanners need.
 
 def build_resolver_for(deployments: Iterable[DomainDeployment]) -> SimulatedResolver:
+    """Build the DNS view of ``deployments``.
+
+    Also accepts phase-1 :class:`~repro.webpki.skeleton.DeploymentSkeleton`
+    iterables: resolution never looks at certificate chains, so resolver
+    construction does not require materialisation.
+    """
     resolver = SimulatedResolver()
     for deployment in deployments:
         if deployment.dns_rcode is not DnsRcode.NOERROR:
@@ -247,6 +259,43 @@ class PopulationShard:
         return len(self.deployments)
 
 
+@dataclass(frozen=True)
+class SkeletonShard:
+    """One rank-contiguous slice of the population in skeleton (phase 1) form.
+
+    The near-free counterpart of :class:`PopulationShard`: the same RNG stream
+    was consumed, but no certificate chain has been issued yet.  Count-only
+    consumers read :meth:`category_counts`; everything else calls
+    :meth:`materialize` to obtain the byte-identical full shard.
+    """
+
+    index: int
+    start_rank: int
+    skeletons: Tuple[DeploymentSkeleton, ...]
+
+    @property
+    def end_rank(self) -> int:
+        """Rank of the last skeleton (inclusive)."""
+        return self.start_rank + len(self.skeletons) - 1
+
+    def __len__(self) -> int:
+        return len(self.skeletons)
+
+    def category_counts(self) -> Dict[ServiceCategory, int]:
+        return category_counts(self.skeletons)
+
+    def materialize(self, hierarchy=None) -> PopulationShard:
+        """Phase 2: issue every recorded chain and return the full shard."""
+        hierarchy = hierarchy or default_hierarchy()
+        return PopulationShard(
+            index=self.index,
+            start_rank=self.start_rank,
+            deployments=tuple(
+                skeleton.materialize(hierarchy) for skeleton in self.skeletons
+            ),
+        )
+
+
 def _dns_outcome(rng: random.Random, config: PopulationConfig) -> Tuple[DnsRcode, bool]:
     """Return (rcode, has_a_record)."""
     roll = rng.random()
@@ -269,71 +318,59 @@ def _dns_outcome(rng: random.Random, config: PopulationConfig) -> Tuple[DnsRcode
 
 
 def _san_names(rng: random.Random, domain: str, count: int) -> List[str]:
-    names = [domain, f"www.{domain}"]
-    prefixes = ("api", "cdn", "mail", "img", "static", "shop", "m", "blog", "dev",
-                "stage", "app", "edge", "media", "assets", "video", "login", "docs")
-    index = 0
-    while len(names) < count:
-        prefix = prefixes[index % len(prefixes)]
-        suffix = "" if index < len(prefixes) else str(index // len(prefixes))
-        names.append(f"{prefix}{suffix}.{domain}")
-        index += 1
-    return names[:max(count, 1)]
+    # Deterministic in (domain, count); ``rng`` kept for signature stability.
+    return san_names_for(domain, count)
 
 
-def _issue_chain(
+def _draw_chain_spec(
     rng: random.Random,
     domain: str,
     archetype: DeploymentArchetype,
-    ca_profile: CAProfile,
+    ca_profile_label: str,
     serial_suffix: str = "",
-) -> CertificateChain:
-    san_count = sample_san_count(rng, archetype)
-    san_names = _san_names(rng, domain if not serial_suffix else f"{serial_suffix}.{domain}", san_count)
-    san_names[0] = domain
-    chain = ca_profile.issue(
-        domain,
-        san_names=san_names,
-        key_algorithm=archetype.leaf_key_algorithm,
-        validity_days=rng.choice((90, 90, 90, 365, 397)),
-    )
-    if rng.random() < archetype.bloated_chain_probability:
-        chain = _bloat_chain(rng, chain)
-    return chain
+) -> ChainSpec:
+    """Draw one chain's issuance parameters and record them as a spec.
 
-
-def _bloat_chain(rng: random.Random, chain: CertificateChain) -> CertificateChain:
-    """Produce the rare, huge chains (18–38 kB) seen in the Figure 6 tail.
-
-    Real-world examples are misconfigured servers that ship every certificate
-    they have: duplicated intermediates, roots, and sometimes whole unrelated
-    chains.  We replicate the duplicated intermediates and roots.
+    This is the *only* place chain randomness is consumed — the rare bloated
+    chains (18–38 kB, the Figure 6 tail: misconfigured servers shipping
+    duplicated intermediates and roots) included, whose duplicated-certificate
+    picks are recorded as pool indices by :func:`draw_bloat_extras`.  The
+    skeleton pass and full generation share this draw site, so their RNG
+    streams are identical by construction.
     """
-    hierarchy = default_hierarchy()
-    extra: List = []
-    pool = list(hierarchy.intermediates.values()) + list(hierarchy.roots.values())
-    copies = rng.randint(12, 26)
-    for _ in range(copies):
-        extra.append(rng.choice(pool).certificate)
-    return CertificateChain(chain.certificates + tuple(extra))
+    san_count = sample_san_count(rng, archetype)
+    validity_days = rng.choice((90, 90, 90, 365, 397))
+    bloat_extras: Tuple[int, ...] = ()
+    if rng.random() < archetype.bloated_chain_probability:
+        bloat_extras = draw_bloat_extras(rng)
+    return ChainSpec(
+        domain=domain,
+        ca_profile=ca_profile_label,
+        key_algorithm=archetype.leaf_key_algorithm,
+        san_count=san_count,
+        name_stem=domain if not serial_suffix else f"{serial_suffix}.{domain}",
+        validity_days=validity_days,
+        bloat_extras=bloat_extras,
+    )
 
 
-def _generate_shard_deployments(
+def _generate_shard_skeletons(
     config: PopulationConfig,
-    hierarchy,
     domains: Sequence[str],
     shard_index: int,
     start_rank: int,
-) -> List[DomainDeployment]:
-    """Generate the deployments of one shard from its own derived RNG.
+) -> List[DeploymentSkeleton]:
+    """Phase 1: generate one shard's deployment skeletons (no chain issuance).
 
     Everything random about the shard comes from ``(config.seed,
     shard_index)``; the address allocator interleaves the per-provider host
     indices of all shards (``local * shard_count + shard_index``) so shards
     allocate globally unique, densely packed indices without coordinating.
+    Chain issuance parameters are drawn (preserving the RNG stream) but only
+    *recorded*; materialising them is phase 2 (:class:`DeploymentSkeleton`).
     """
     rng = random.Random(f"population:{config.seed}:shard:{shard_index}")
-    deployments: List[DomainDeployment] = []
+    skeletons: List[DeploymentSkeleton] = []
     provider_host_counters: Dict[str, int] = {}
     # Interleave stride: the total number of generation shards of this
     # population.  Indices l*stride+i are globally unique (i < stride) and stay
@@ -352,8 +389,8 @@ def _generate_shard_deployments(
         rank = start_rank + offset
         rcode, has_a = _dns_outcome(rng, config)
         if not has_a:
-            deployments.append(
-                DomainDeployment(
+            skeletons.append(
+                DeploymentSkeleton(
                     domain=domain, rank=rank, category=ServiceCategory.UNRESOLVED, dns_rcode=rcode
                 )
             )
@@ -371,8 +408,8 @@ def _generate_shard_deployments(
             address = _allocate_address(
                 provider_host_counters, "https-only-hosting", shard_index, address_stride
             )
-            deployments.append(
-                DomainDeployment(
+            skeletons.append(
+                DeploymentSkeleton(
                     domain=domain,
                     rank=rank,
                     category=category,
@@ -397,17 +434,19 @@ def _generate_shard_deployments(
         ca_profile_label = archetype.ca_profile
         if archetype.ca_profile_pool:
             ca_profile_label = rng.choice(archetype.ca_profile_pool)
-        ca_profile = hierarchy.profiles[ca_profile_label]
-        https_chain = _issue_chain(rng, domain, archetype, ca_profile)
+        https_spec = _draw_chain_spec(rng, domain, archetype, ca_profile_label)
 
-        quic_chain = None
+        quic_spec: Optional[ChainSpec] = None
+        quic_shares_https = False
         behavior: Optional[ServerBehaviorProfile] = None
         encapsulation_overhead = 0
         if category is ServiceCategory.QUIC:
             if rng.random() < config.different_quic_cert_fraction:
-                quic_chain = _issue_chain(rng, domain, archetype, ca_profile, serial_suffix="rotated")
+                quic_spec = _draw_chain_spec(
+                    rng, domain, archetype, ca_profile_label, serial_suffix="rotated"
+                )
             else:
-                quic_chain = https_chain
+                quic_shares_https = True
             behavior = provider.behavior
             if (
                 behavior.name == "rfc-compliant"
@@ -427,67 +466,76 @@ def _generate_shard_deployments(
         if rng.random() < config.redirect_fraction:
             redirect_to = f"www.{domain}"
 
-        deployments.append(
-            DomainDeployment(
+        skeletons.append(
+            DeploymentSkeleton(
                 domain=domain,
                 rank=rank,
                 category=category,
                 dns_rcode=DnsRcode.NOERROR,
                 address=address,
-                https_chain=https_chain,
-                quic_chain=quic_chain,
                 server_behavior=behavior,
                 provider=provider.name,
                 archetype=archetype.name,
                 ca_profile=ca_profile_label,
                 encapsulation_overhead=encapsulation_overhead,
                 redirect_to=redirect_to,
+                https_spec=https_spec,
+                quic_spec=quic_spec,
+                quic_shares_https=quic_shares_https,
             )
         )
 
-    return deployments
+    return skeletons
 
 
-def generate_shard(config: PopulationConfig, shard_index: int) -> PopulationShard:
+def generate_shard(
+    config: PopulationConfig, shard_index: int, skeleton: bool = False
+) -> "PopulationShard | SkeletonShard":
     """Generate a single shard, independent of every other shard.
 
     Workers use this to rebuild exactly the slice of the population they are
-    responsible for without receiving (or generating) the rest.
+    responsible for without receiving (or generating) the rest.  With
+    ``skeleton=True`` only phase 1 runs — same RNG stream, no chain issuance —
+    and a :class:`SkeletonShard` is returned (``.materialize()`` yields the
+    byte-identical full shard).
     """
     start = shard_index * GENERATION_SHARD_SIZE
     if not 0 <= start < config.size:
         raise ValueError(f"shard index {shard_index} out of range for size {config.size}")
     tranco = generate_tranco_list(config.size, seed=config.seed)
     domains = tranco.domains[start : start + GENERATION_SHARD_SIZE]
-    deployments = _generate_shard_deployments(
-        config, default_hierarchy(), domains, shard_index, start + 1
-    )
-    return PopulationShard(index=shard_index, start_rank=start + 1, deployments=tuple(deployments))
+    skeletons = _generate_shard_skeletons(config, domains, shard_index, start + 1)
+    shard = SkeletonShard(index=shard_index, start_rank=start + 1, skeletons=tuple(skeletons))
+    if skeleton:
+        return shard
+    return shard.materialize(default_hierarchy())
 
 
 def iter_population_shards(
     config: Optional[PopulationConfig] = None,
     tranco: Optional[TrancoList] = None,
-) -> Iterator[PopulationShard]:
+    skeleton: bool = False,
+) -> "Iterator[PopulationShard | SkeletonShard]":
     """Stream the population shard by shard, in rank order.
 
     Only one shard's deployments (certificate chains included) are alive at a
     time unless the caller keeps them, so 100k+ domain populations can be
     consumed without holding the full deployment list in memory.  The
     concatenation of all shards is exactly :func:`generate_population`'s
-    deployment list.
+    deployment list.  With ``skeleton=True`` the stream yields
+    :class:`SkeletonShard` phase-1 shards instead — no chain issuance, ~20×
+    cheaper — for count-only consumers like the sweep discovery pass.
     """
     config = config or PopulationConfig()
     tranco = tranco or generate_tranco_list(config.size, seed=config.seed)
     hierarchy = default_hierarchy()
     for shard_index, start in enumerate(range(0, config.size, GENERATION_SHARD_SIZE)):
         domains = tranco.domains[start : start + GENERATION_SHARD_SIZE]
-        deployments = _generate_shard_deployments(
-            config, hierarchy, domains, shard_index, start + 1
+        skeletons = _generate_shard_skeletons(config, domains, shard_index, start + 1)
+        shard = SkeletonShard(
+            index=shard_index, start_rank=start + 1, skeletons=tuple(skeletons)
         )
-        yield PopulationShard(
-            index=shard_index, start_rank=start + 1, deployments=tuple(deployments)
-        )
+        yield shard if skeleton else shard.materialize(hierarchy)
 
 
 def deployments_for_range(
@@ -495,7 +543,8 @@ def deployments_for_range(
     start: int,
     stop: int,
     tranco: Optional[TrancoList] = None,
-) -> List[DomainDeployment]:
+    skeleton: bool = False,
+) -> "List[DomainDeployment] | List[DeploymentSkeleton]":
     """Regenerate the deployments at list indices ``[start, stop)``.
 
     Works for any range, aligned to generation shards or not: the covering
@@ -503,24 +552,32 @@ def deployments_for_range(
     Scan-time workers use this to rebuild exactly their slice of a generated
     population from ``(config, start, stop)`` instead of receiving the
     deployments (with all their certificate chains) over IPC.
+
+    Two-phase generation makes unaligned ranges cheaper than they used to be:
+    the covering shards only run the skeleton pass, and chains are
+    materialised for the ``[start, stop)`` slice alone — never for the parts
+    of a covering shard that fall outside the range.  ``skeleton=True`` skips
+    materialisation entirely and returns the phase-1 skeletons.
     """
     if not 0 <= start <= stop <= config.size:
         raise ValueError(f"range [{start}, {stop}) out of bounds for size {config.size}")
     tranco = tranco or generate_tranco_list(config.size, seed=config.seed)
     hierarchy = default_hierarchy()
-    deployments: List[DomainDeployment] = []
+    skeletons: List[DeploymentSkeleton] = []
     first_shard = start // GENERATION_SHARD_SIZE
     last_shard = max(first_shard, (stop - 1) // GENERATION_SHARD_SIZE) if stop > start else first_shard
     for shard_index in range(first_shard, last_shard + 1):
         shard_start = shard_index * GENERATION_SHARD_SIZE
         domains = tranco.domains[shard_start : shard_start + GENERATION_SHARD_SIZE]
-        shard = _generate_shard_deployments(
-            config, hierarchy, domains, shard_index, shard_start + 1
+        shard = _generate_shard_skeletons(
+            config, domains, shard_index, shard_start + 1
         )
-        deployments.extend(
+        skeletons.extend(
             shard[max(start - shard_start, 0) : max(stop - shard_start, 0)]
         )
-    return deployments
+    if skeleton:
+        return skeletons
+    return [s.materialize(hierarchy) for s in skeletons]
 
 
 def generate_population(config: Optional[PopulationConfig] = None) -> InternetPopulation:

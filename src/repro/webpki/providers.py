@@ -405,16 +405,26 @@ HTTPS_ONLY_ARCHETYPES: Tuple[DeploymentArchetype, ...] = (
 )
 
 
-def _weighted_choice(
-    rng: random.Random, archetypes: Sequence[DeploymentArchetype]
-) -> DeploymentArchetype:
-    weights = [a.weight for a in archetypes]
-    return rng.choices(list(archetypes), weights=weights)[0]
+# Cumulative weights, precomputed once: ``choices(cum_weights=...)`` consumes
+# the same single ``random()`` draw — and selects the same archetype — as
+# ``choices(weights=...)`` over the same weights, but skips the per-call
+# accumulation; the generator samples an archetype per resolved domain.
+def _cumulative(archetypes: Sequence[DeploymentArchetype]) -> Tuple[float, ...]:
+    total = 0.0
+    out = []
+    for archetype in archetypes:
+        total += archetype.weight
+        out.append(total)
+    return tuple(out)
+
+
+_QUIC_CUM_WEIGHTS = _cumulative(QUIC_ARCHETYPES)
+_HTTPS_ONLY_CUM_WEIGHTS = _cumulative(HTTPS_ONLY_ARCHETYPES)
 
 
 def choose_quic_archetype(rng: random.Random) -> DeploymentArchetype:
-    return _weighted_choice(rng, QUIC_ARCHETYPES)
+    return rng.choices(QUIC_ARCHETYPES, cum_weights=_QUIC_CUM_WEIGHTS)[0]
 
 
 def choose_https_only_archetype(rng: random.Random) -> DeploymentArchetype:
-    return _weighted_choice(rng, HTTPS_ONLY_ARCHETYPES)
+    return rng.choices(HTTPS_ONLY_ARCHETYPES, cum_weights=_HTTPS_ONLY_CUM_WEIGHTS)[0]

@@ -1,0 +1,221 @@
+"""Two-phase population generation: deployment skeletons and chain specs.
+
+Phase 1 (the *skeleton pass*, :func:`repro.webpki.population._generate_shard_skeletons`)
+consumes a shard's RNG stream exactly like full generation — every draw, in the
+same order — but records the certificate-issuance parameters it draws in a
+:class:`ChainSpec` instead of acting on them.  Phase 2
+(:meth:`DeploymentSkeleton.materialize`) turns a skeleton into the eager
+:class:`~repro.webpki.deployment.DomainDeployment` by issuing the recorded
+chains through the template fast path of :mod:`repro.x509.issuance`.
+
+The phases compose to exactly the eager generator — materialisation consumes
+no randomness, so ``skeletons → materialize`` and one-phase generation cannot
+drift apart (``tests/test_population_skeleton.py`` pins both the RNG-stream
+and the field-for-field contract).  Consumers that never open certificate
+chains — the sweep discovery pass of :mod:`repro.scanners.streaming`, category
+counts, resolver construction — stop after phase 1 and skip issuance entirely,
+which is ~20× cheaper than full generation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..netsim.address import IPv4Address
+from ..netsim.dns import DnsRcode
+from ..quic.profiles import ServerBehaviorProfile
+from ..x509.ca import WebPkiHierarchy, default_hierarchy
+from ..x509.certificate import Certificate
+from ..x509.chain import CertificateChain
+from ..x509.keys import KeyAlgorithm
+from .deployment import DomainDeployment, ServiceCategory
+
+
+# ---------------------------------------------------------------------------
+# The bloated-chain extras pool (paper Figure 6 tail)
+# ---------------------------------------------------------------------------
+
+_BLOAT_POOL: Optional[Tuple[Certificate, ...]] = None
+
+
+def bloat_pool() -> Tuple[Certificate, ...]:
+    """CA certificates a misconfigured server may redundantly ship.
+
+    Intermediates first, then roots, in hierarchy insertion order — the same
+    deterministic pool (and order) the one-phase generator always drew from,
+    cached process-wide because the hierarchy itself is a process singleton.
+    """
+    global _BLOAT_POOL
+    if _BLOAT_POOL is None:
+        hierarchy = default_hierarchy()
+        _BLOAT_POOL = tuple(
+            ca.certificate
+            for ca in list(hierarchy.intermediates.values()) + list(hierarchy.roots.values())
+        )
+    return _BLOAT_POOL
+
+
+def draw_bloat_extras(rng: random.Random) -> Tuple[int, ...]:
+    """Draw the duplicated-certificate indices of one bloated chain.
+
+    Consumes exactly the draws the eager ``_bloat_chain`` made — one
+    ``randint`` for the copy count, one ``choice`` over an equal-length
+    sequence per copy — but records pool *indices* instead of building the
+    chain, so the skeleton pass stays issuance-free.
+    """
+    pool_indices = range(len(bloat_pool()))
+    copies = rng.randint(12, 26)
+    return tuple(rng.choice(pool_indices) for _ in range(copies))
+
+
+# ---------------------------------------------------------------------------
+# Chain specs (recorded issuance parameters)
+# ---------------------------------------------------------------------------
+
+#: Subdomain prefixes of the deterministic SAN-name pattern.
+_SAN_PREFIXES = ("api", "cdn", "mail", "img", "static", "shop", "m", "blog", "dev",
+                 "stage", "app", "edge", "media", "assets", "video", "login", "docs")
+
+
+def san_names_for(stem: str, count: int) -> List[str]:
+    """The deterministic SAN-name list for ``stem`` (pure; no randomness).
+
+    Names are a function of ``(stem, count)`` alone, so the skeleton pass only
+    records the two scalars and this expansion runs at materialisation time.
+    """
+    names = [stem, f"www.{stem}"]
+    index = 0
+    while len(names) < count:
+        prefix = _SAN_PREFIXES[index % len(_SAN_PREFIXES)]
+        suffix = "" if index < len(_SAN_PREFIXES) else str(index // len(_SAN_PREFIXES))
+        names.append(f"{prefix}{suffix}.{stem}")
+        index += 1
+    return names[:max(count, 1)]
+
+
+@dataclass(frozen=True, slots=True)
+class ChainSpec:
+    """Everything needed to issue one delivered chain, recorded not acted on.
+
+    A pure value: materialising it consumes no randomness and two equal specs
+    materialise byte-identical chains, so specs can be carried across process
+    boundaries or re-materialised at will.
+    """
+
+    domain: str
+    ca_profile: str
+    #: Leaf key override from the archetype; ``None`` uses the profile default.
+    key_algorithm: Optional[KeyAlgorithm]
+    #: SAN names are deterministic in ``(name_stem, san_count)`` — recorded as
+    #: the two scalars and expanded by :func:`san_names_for` on materialise.
+    san_count: int
+    name_stem: str
+    validity_days: int
+    #: Indices into :func:`bloat_pool` appended after the delivered chain
+    #: (empty for the overwhelmingly common non-bloated case).
+    bloat_extras: Tuple[int, ...] = ()
+
+    def san_names(self) -> List[str]:
+        """The expanded SAN-name list (first name is always the domain)."""
+        names = san_names_for(self.name_stem, self.san_count)
+        names[0] = self.domain
+        return names
+
+    def materialize(self, hierarchy: Optional[WebPkiHierarchy] = None) -> CertificateChain:
+        """Issue the recorded chain (via the per-profile issuance fast path)."""
+        hierarchy = hierarchy or default_hierarchy()
+        profile = hierarchy.profiles[self.ca_profile]
+        chain = profile.issue(
+            self.domain,
+            san_names=self.san_names(),
+            validity_days=self.validity_days,
+            key_algorithm=self.key_algorithm,
+        )
+        if self.bloat_extras:
+            pool = bloat_pool()
+            chain = CertificateChain(
+                chain.certificates + tuple(pool[index] for index in self.bloat_extras)
+            )
+        return chain
+
+
+# ---------------------------------------------------------------------------
+# Deployment skeletons
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class DeploymentSkeleton:
+    """A :class:`DomainDeployment` minus the materialised certificate chains.
+
+    Carries every cheap field verbatim plus the recorded :class:`ChainSpec` of
+    each chain the deployment delivers.  Count-only consumers (category
+    counts, the sweep discovery pass) and the resolver builder read skeletons
+    directly; everything else calls :meth:`materialize`.
+    """
+
+    domain: str
+    rank: int
+    category: ServiceCategory
+    dns_rcode: DnsRcode
+    address: Optional[IPv4Address] = None
+    server_behavior: Optional[ServerBehaviorProfile] = None
+    provider: Optional[str] = None
+    archetype: Optional[str] = None
+    ca_profile: Optional[str] = None
+    encapsulation_overhead: int = 0
+    redirect_to: Optional[str] = None
+    https_spec: Optional[ChainSpec] = None
+    #: Rotated QUIC chain spec; ``None`` with ``quic_shares_https`` means the
+    #: QUIC service delivers the HTTPS chain *object* (identity preserved).
+    quic_spec: Optional[ChainSpec] = None
+    quic_shares_https: bool = False
+
+    # -- the cheap convenience mirror of DomainDeployment ----------------------
+
+    @property
+    def resolves(self) -> bool:
+        return self.dns_rcode is DnsRcode.NOERROR and self.address is not None
+
+    @property
+    def supports_quic(self) -> bool:
+        return self.category is ServiceCategory.QUIC
+
+    # -- phase 2 ---------------------------------------------------------------
+
+    def materialize(self, hierarchy: Optional[WebPkiHierarchy] = None) -> DomainDeployment:
+        """Issue the recorded chains and assemble the eager deployment."""
+        hierarchy = hierarchy or default_hierarchy()
+        https_chain = (
+            self.https_spec.materialize(hierarchy) if self.https_spec is not None else None
+        )
+        if self.quic_shares_https:
+            quic_chain = https_chain
+        elif self.quic_spec is not None:
+            quic_chain = self.quic_spec.materialize(hierarchy)
+        else:
+            quic_chain = None
+        return DomainDeployment(
+            domain=self.domain,
+            rank=self.rank,
+            category=self.category,
+            dns_rcode=self.dns_rcode,
+            address=self.address,
+            https_chain=https_chain,
+            quic_chain=quic_chain,
+            server_behavior=self.server_behavior,
+            provider=self.provider,
+            archetype=self.archetype,
+            ca_profile=self.ca_profile,
+            encapsulation_overhead=self.encapsulation_overhead,
+            redirect_to=self.redirect_to,
+        )
+
+
+def category_counts(skeletons) -> Dict[ServiceCategory, int]:
+    """Category histogram of an iterable of skeletons (or deployments)."""
+    counts: Dict[ServiceCategory, int] = {category: 0 for category in ServiceCategory}
+    for skeleton in skeletons:
+        counts[skeleton.category] += 1
+    return counts

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator, List, Sequence, Tuple
 
 _SYLLABLES = (
@@ -75,7 +76,19 @@ def _random_tld(rng: random.Random) -> str:
 
 
 def generate_tranco_list(size: int, seed: int = 2022) -> TrancoList:
-    """Generate ``size`` unique ranked domain names deterministically."""
+    """Generate ``size`` unique ranked domain names deterministically.
+
+    Memoized process-wide (the list is immutable and a pure function of its
+    arguments): shard regeneration — `generate_shard`, the discovery pass, the
+    per-worker `deployments_for_range` — asks for the same ranked list over
+    and over, and a 1M-name list takes seconds to build.  The thin wrapper
+    normalises positional and keyword ``seed`` calls onto one cache entry.
+    """
+    return _generate_tranco_list(size, seed)
+
+
+@lru_cache(maxsize=4)
+def _generate_tranco_list(size: int, seed: int) -> TrancoList:
     if size <= 0:
         raise ValueError("the list size must be positive")
     rng = random.Random(f"tranco:{seed}")

@@ -34,6 +34,7 @@ from .extensions import (
     SubjectAlternativeName,
     SubjectKeyIdentifier,
 )
+from .issuance import issue_leaf_fast, leaf_template
 from .keys import KeyAlgorithm, PublicKey
 from .name import DistinguishedName
 
@@ -80,13 +81,18 @@ class CAProfile:
         validity_days: int = 90,
         key_algorithm: Optional[KeyAlgorithm] = None,
     ) -> CertificateChain:
-        """Issue a leaf for ``domain`` and return the full delivered chain."""
-        leaf = issue_leaf(
-            issuer=self.issuer,
-            domain=domain,
-            san_names=san_names,
+        """Issue a leaf for ``domain`` and return the full delivered chain.
+
+        Issuance runs through the template fast path of
+        :mod:`repro.x509.issuance` — byte-identical to :func:`issue_leaf`, but
+        the issuer-constant DER blocks are encoded once per
+        ``(issuer, key algorithm)`` instead of once per leaf.
+        """
+        leaf = issue_leaf_fast(
+            leaf_template(self.issuer, key_algorithm or self.leaf_key_algorithm),
+            domain,
+            san_names if san_names is not None else (domain, f"www.{domain}"),
             validity_days=validity_days,
-            key_algorithm=key_algorithm or self.leaf_key_algorithm,
         )
         return CertificateChain((leaf,) + self.delivered_chain)
 

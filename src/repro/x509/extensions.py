@@ -34,11 +34,17 @@ class Extension:
     value: bytes  # the DER content placed inside the extnValue OCTET STRING
 
     def encode(self) -> bytes:
-        parts = [self.oid.encode()]
-        if self.critical:
-            parts.append(encode_boolean(True))
-        parts.append(encode_octet_string(self.value))
-        return encode_sequence(*parts)
+        # Memoized on the frozen instance: issuer-constant extensions (AKI,
+        # AIA, key usage, policies) are shared across every leaf a CA issues.
+        cached = getattr(self, "_encoded", None)
+        if cached is None:
+            parts = [self.oid.encode()]
+            if self.critical:
+                parts.append(encode_boolean(True))
+            parts.append(encode_octet_string(self.value))
+            cached = encode_sequence(*parts)
+            object.__setattr__(self, "_encoded", cached)
+        return cached
 
     @property
     def name(self) -> str:

@@ -1,0 +1,207 @@
+"""Leaf-issuance fast path: per-(issuer, key-algorithm) encoded templates.
+
+Population generation issues one leaf certificate per TLS-speaking domain, but
+most of every leaf's DER is *not* per-domain: the signature AlgorithmIdentifier,
+the issuer DN, and six of the nine extensions depend only on the issuing CA and
+the leaf key algorithm.  :func:`leaf_template` precomputes those blocks once
+per ``(issuer, key_algorithm)`` pair and :func:`issue_leaf_fast` assembles a
+certificate from them plus the genuinely per-leaf parts (subject DN, key,
+SANs, SCTs, serial, signature).
+
+The output is byte-identical to :func:`repro.x509.ca.issue_leaf` — the
+reference implementation that encodes everything from scratch — which
+``tests/test_population_skeleton.py`` pins for every profile × key algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Sequence, Tuple
+
+from ..asn1 import (
+    OID,
+    encode_bit_string,
+    encode_explicit,
+    encode_integer,
+    encode_sequence,
+    encode_tlv,
+)
+from ..asn1.tags import Tag
+from .certificate import Certificate, Validity, serial_from_seed
+from .extensions import (
+    AuthorityInformationAccess,
+    AuthorityKeyIdentifier,
+    BasicConstraints,
+    CertificatePolicies,
+    Extension,
+    ExtendedKeyUsage,
+    KeyUsage,
+    SignedCertificateTimestamps,
+    SubjectAlternativeName,
+    SubjectKeyIdentifier,
+)
+from .keys import KeyAlgorithm, PublicKey, SignatureAlgorithm
+from .name import DistinguishedName
+
+#: The constant ``[0] EXPLICIT INTEGER 2`` (version v3) block of every TBS.
+_VERSION_DER = encode_explicit(0, encode_integer(2))
+
+#: Extensions shared by *every* issued leaf, whoever signs it.
+_EKU = ExtendedKeyUsage()
+_BASIC_CONSTRAINTS = BasicConstraints(ca=False, critical=True)
+_POLICIES = CertificatePolicies(policy_oids=(OID.DOMAIN_VALIDATED,))
+
+
+def _slug(text: str) -> str:
+    """Mirror of :func:`repro.x509.ca._slug` (kept local to avoid a cycle)."""
+    return "".join(ch.lower() if ch.isalnum() else "-" for ch in text).strip("-")
+
+
+@lru_cache(maxsize=32)
+def _validity_for_days(days: int) -> Tuple[Validity, bytes]:
+    """Leaf validity windows come in a handful of day counts; encode each once."""
+    validity = Validity.for_days(days)
+    return validity, validity.encode()
+
+
+@dataclass(frozen=True)
+class LeafTemplate:
+    """Precomputed issuance state for one ``(issuer, leaf key algorithm)`` pair.
+
+    ``leading_extensions_der`` covers extension positions 1–3 (key usage, EKU,
+    basic constraints), ``issuer_extensions_der`` positions 5–6 (AKI, AIA) and
+    ``policies_der`` position 8 — exactly the layout ``issue_leaf`` emits, so
+    splicing the per-leaf SKI/SAN/SCT encodings between them reproduces the
+    reference extension sequence byte for byte.
+    """
+
+    issuer_name: str
+    issuer_subject: DistinguishedName
+    issuer_subject_der: bytes
+    issuer_key: PublicKey
+    key_algorithm: KeyAlgorithm
+    signature_algorithm: SignatureAlgorithm
+    algorithm_der: bytes
+    key_usage: Extension
+    authority_key_identifier: Extension
+    authority_info_access: Extension
+    leading_extensions_der: bytes
+    issuer_extensions_der: bytes
+    policies_der: bytes
+
+
+def leaf_template(issuer, key_algorithm: KeyAlgorithm) -> LeafTemplate:
+    """The (cached) :class:`LeafTemplate` of one CA × leaf key algorithm.
+
+    ``issuer`` is a :class:`repro.x509.ca.CertificateAuthority` (duck-typed to
+    avoid an import cycle: anything with ``certificate``/``key``/``name``).
+    Templates are memoized on the issuer instance, so they live exactly as
+    long as the CA hierarchy that owns them.
+    """
+    templates: Dict[KeyAlgorithm, LeafTemplate] = getattr(issuer, "_leaf_templates", None)
+    if templates is None:
+        templates = {}
+        object.__setattr__(issuer, "_leaf_templates", templates)
+    template = templates.get(key_algorithm)
+    if template is not None:
+        return template
+
+    signature_algorithm = SignatureAlgorithm.for_signer(issuer.key)
+    issuer_subject = issuer.certificate.subject
+    issuer_org = issuer_subject.organization or issuer.name
+    key_usage = KeyUsage(
+        digital_signature=True, key_encipherment=key_algorithm.is_rsa, critical=True
+    )
+    authority_key_identifier = AuthorityKeyIdentifier(issuer.key.key_identifier())
+    authority_info_access = AuthorityInformationAccess(
+        ocsp_url=f"http://ocsp.{_slug(issuer_org)}.example",
+        ca_issuers_url=f"http://crt.{_slug(issuer_org)}.example/{_slug(issuer.name)}.der",
+    )
+    template = LeafTemplate(
+        issuer_name=issuer.name,
+        issuer_subject=issuer_subject,
+        issuer_subject_der=issuer_subject.encode(),
+        issuer_key=issuer.key,
+        key_algorithm=key_algorithm,
+        signature_algorithm=signature_algorithm,
+        algorithm_der=signature_algorithm.encode_algorithm_identifier(),
+        key_usage=key_usage,
+        authority_key_identifier=authority_key_identifier,
+        authority_info_access=authority_info_access,
+        leading_extensions_der=(
+            key_usage.encode() + _EKU.encode() + _BASIC_CONSTRAINTS.encode()
+        ),
+        issuer_extensions_der=(
+            authority_key_identifier.encode() + authority_info_access.encode()
+        ),
+        policies_der=_POLICIES.encode(),
+    )
+    templates[key_algorithm] = template
+    return template
+
+
+def issue_leaf_fast(
+    template: LeafTemplate,
+    domain: str,
+    san_names: Sequence[str],
+    validity_days: int = 90,
+) -> Certificate:
+    """Issue a leaf from a :class:`LeafTemplate` (byte-identical to ``issue_leaf``)."""
+    subject = DistinguishedName.build(common_name=domain)
+    key = PublicKey(template.key_algorithm, owner=f"leaf:{domain}")
+    serial_number = serial_from_seed(f"leaf:{domain}:{template.issuer_name}")
+    subject_key_identifier = SubjectKeyIdentifier(key.key_identifier())
+    san = SubjectAlternativeName(list(san_names))
+    sct = SignedCertificateTimestamps(count=2, log_seed=f"sct:{domain}")
+    validity, validity_der = _validity_for_days(validity_days)
+
+    extensions_content = b"".join(
+        (
+            template.leading_extensions_der,
+            subject_key_identifier.encode(),
+            template.issuer_extensions_der,
+            san.encode(),
+            template.policies_der,
+            sct.encode(),
+        )
+    )
+    extensions_der = encode_tlv(0xA3, encode_tlv(Tag.SEQUENCE, extensions_content))
+
+    tbs = encode_sequence(
+        _VERSION_DER,
+        encode_integer(serial_number),
+        template.algorithm_der,
+        template.issuer_subject_der,
+        validity_der,
+        subject.encode(),
+        key.spki_der(),
+        extensions_der,
+    )
+    signature = template.issuer_key.sign(tbs, template.signature_algorithm)
+    der = encode_sequence(tbs, template.algorithm_der, encode_bit_string(signature))
+    certificate = Certificate(
+        subject=subject,
+        issuer=template.issuer_subject,
+        public_key=key,
+        signature_algorithm=template.signature_algorithm,
+        serial_number=serial_number,
+        validity=validity,
+        extensions=(
+            template.key_usage,
+            _EKU,
+            _BASIC_CONSTRAINTS,
+            subject_key_identifier,
+            template.authority_key_identifier,
+            template.authority_info_access,
+            san,
+            _POLICIES,
+            sct,
+        ),
+        is_ca=False,
+        der=der,
+        tbs_der=tbs,
+        signature_value=signature,
+    )
+    object.__setattr__(certificate, "_san_names", tuple(san_names))
+    return certificate

@@ -94,7 +94,19 @@ class PublicKey:
     owner: str
 
     def spki_der(self) -> bytes:
-        """Encode the SubjectPublicKeyInfo structure (RFC 5280 §4.1.2.7)."""
+        """Encode the SubjectPublicKeyInfo structure (RFC 5280 §4.1.2.7).
+
+        Memoized on the frozen instance: every leaf issuance asks for the SPKI
+        at least twice (key identifier + TBS encoding) and issuer keys are
+        asked once per issued leaf.
+        """
+        cached = getattr(self, "_spki_der", None)
+        if cached is None:
+            cached = self._build_spki_der()
+            object.__setattr__(self, "_spki_der", cached)
+        return cached
+
+    def _build_spki_der(self) -> bytes:
         if self.algorithm.is_rsa:
             modulus_len = self.algorithm.bits // 8
             modulus_bytes = _deterministic_bytes(f"rsa-mod:{self.owner}", modulus_len)
@@ -112,7 +124,11 @@ class PublicKey:
 
     def key_identifier(self) -> bytes:
         """A 20-byte key identifier (SHA-1-sized) derived from the SPKI."""
-        return hashlib.sha256(self.spki_der()).digest()[:20]
+        cached = getattr(self, "_key_identifier", None)
+        if cached is None:
+            cached = hashlib.sha256(self.spki_der()).digest()[:20]
+            object.__setattr__(self, "_key_identifier", cached)
+        return cached
 
     def sign(self, message: bytes, algorithm: SignatureAlgorithm) -> bytes:
         """Produce a signature *value* with realistic length for ``algorithm``.

@@ -78,7 +78,13 @@ class DistinguishedName:
         return cls(tuple(rdns))
 
     def encode(self) -> bytes:
-        return encode_tlv(Tag.SEQUENCE, b"".join(rdn.encode() for rdn in self.rdns))
+        # Memoized on the frozen instance: issuer DNs are encoded once per
+        # issued leaf, and chain-hygiene checks re-encode subjects repeatedly.
+        cached = getattr(self, "_encoded", None)
+        if cached is None:
+            cached = encode_tlv(Tag.SEQUENCE, b"".join(rdn.encode() for rdn in self.rdns))
+            object.__setattr__(self, "_encoded", cached)
+        return cached
 
     @property
     def common_name(self) -> Optional[str]:
