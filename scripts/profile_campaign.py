@@ -234,7 +234,12 @@ def run_cprofile(args: argparse.Namespace) -> int:
 
 
 def main() -> int:
-    args = build_parser().parse_args()
+    parser = build_parser()
+    args = parser.parse_args()
+    if args.json is not None and not args.phases:
+        # Only the phase mode writes the JSON breakdown; silently running a
+        # multi-second cProfile instead would leave a stale BENCH_campaign.json.
+        parser.error("--json requires --phases")
     if args.phases:
         return run_phases(args)
     return run_cprofile(args)

@@ -34,7 +34,9 @@ class EmpiricalCdf:
                 cumulative[-1] = index + 1
         self.unique_values: Tuple[float, ...] = tuple(unique)
         self.cumulative_counts: Tuple[int, ...] = tuple(cumulative)
-        self._values = tuple(ordered)
+        # Count-backed storage only: the expanded sample is rebuilt lazily by
+        # the ``values`` property for the rare caller that wants the multiset.
+        self._values = None
 
     @classmethod
     def from_values(cls, values: Iterable[float]) -> "EmpiricalCdf":
@@ -52,6 +54,14 @@ class EmpiricalCdf:
         cdf = cls.__new__(cls)
         normalised: dict = {}
         for value, count in counts.items():
+            if count < 0:
+                # A negative multiplicity is upstream corruption (e.g. an
+                # under-subtracting reducer) — surface it, don't render it.
+                raise ValueError(f"negative multiplicity {count} for value {value!r}")
+            if count == 0:
+                # Zero-multiplicity entries expand to nothing; keeping them
+                # would leave a CDF that reports non-empty with no samples.
+                continue
             value = float(value)
             normalised[value] = normalised.get(value, 0) + count
         unique = tuple(sorted(normalised))

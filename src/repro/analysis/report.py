@@ -183,6 +183,14 @@ def build_report(results: AnyCampaignResults, include_sweep: bool = True) -> Eva
         sections = _eager_sections(results, include_sweep)
 
     parts: List[str] = ["QUIC / TLS certificate interplay — reproduced evaluation", "=" * 60]
+    # Scenario stamp: any non-identity what-if scenario announces itself in the
+    # header.  The identity baseline renders the legacy header so the golden
+    # artefact digests stay byte-for-byte pinned.
+    scenario = getattr(results, "scenario", None)
+    if scenario is not None and not scenario.is_identity:
+        parts.append(f"scenario: {scenario.name} [{scenario.fingerprint()[:12]}]")
+        if scenario.description:
+            parts.append(f"  {scenario.description}")
     for name, section in sections.items():
         render = getattr(section, "render_text", None)
         if render is None:

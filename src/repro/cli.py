@@ -1,10 +1,12 @@
 """Command-line interface.
 
-``python -m repro`` exposes the three things a user most often wants without
+``python -m repro`` exposes the things a user most often wants without
 writing code:
 
-* ``campaign`` — run the full measurement campaign and print (or write) the
-  evaluation report,
+* ``campaign`` — run the full measurement campaign (optionally under a
+  what-if ``--scenario``) and print (or write) the evaluation report,
+* ``compare`` — run several scenarios and print a side-by-side delta table,
+* ``scenarios`` — list the built-in what-if scenarios,
 * ``predict`` — predict the handshake outcome for a CA chain profile and a
   client Initial size,
 * ``profiles`` — list the built-in CA chain profiles and server behaviours.
@@ -20,6 +22,7 @@ from .analysis.report import build_report
 from .core import predict_handshake, required_initial_size
 from .quic.profiles import BUILTIN_PROFILES
 from .scanners import MeasurementCampaign
+from .scenarios import BUILTIN_SCENARIOS, ScenarioError, load_scenario
 from .tls.cert_compression import CertificateCompressionAlgorithm
 from .webpki import PopulationConfig, generate_population
 from .x509.ca import default_hierarchy
@@ -61,6 +64,34 @@ def build_parser() -> argparse.ArgumentParser:
              "stderr; see scripts/profile_campaign.py --phases for the full "
              "per-stage breakdown",
     )
+    campaign.add_argument(
+        "--scenario", type=str, default=None, metavar="NAME|FILE.json",
+        help="run the campaign under a what-if scenario: a built-in name "
+             "(see 'repro scenarios') or a scenario JSON file",
+    )
+
+    compare = subparsers.add_parser(
+        "compare",
+        help="run several scenarios over the same population and print a "
+             "side-by-side delta table",
+    )
+    compare.add_argument(
+        "--scenarios", type=str, default=None, metavar="NAME[,NAME...]",
+        help="comma-separated scenario names or JSON files "
+             "(default: every built-in scenario, baseline first)",
+    )
+    compare.add_argument("--size", type=int, default=1200, help="population size (default: 1200)")
+    compare.add_argument("--seed", type=int, default=2022, help="population seed (default: 2022)")
+    compare.add_argument(
+        "--workers", type=int, default=None,
+        help="scan shards in this many worker processes per campaign",
+    )
+
+    scenarios = subparsers.add_parser("scenarios", help="list the built-in what-if scenarios")
+    scenarios.add_argument(
+        "--names", action="store_true",
+        help="print bare scenario names only (one per line, for scripting)",
+    )
 
     predict = subparsers.add_parser("predict", help="predict the handshake class for a chain profile")
     predict.add_argument("--chain", required=True, help="CA chain profile label (see 'profiles')")
@@ -76,6 +107,13 @@ def _run_campaign(args: argparse.Namespace) -> int:
     import time
 
     config = PopulationConfig(size=args.size, seed=args.seed)
+    if args.scenario:
+        try:
+            scenario = load_scenario(args.scenario)
+            config = scenario.population_config(base=config)
+        except ScenarioError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     t0 = time.perf_counter()
     if args.stream:
         # Streaming regenerates inside the workers: generation time is part of
@@ -145,6 +183,39 @@ def _run_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_compare(args: argparse.Namespace) -> int:
+    from .scenarios import compare_scenarios
+
+    names = (
+        [name.strip() for name in args.scenarios.split(",") if name.strip()]
+        if args.scenarios
+        else list(BUILTIN_SCENARIOS)
+    )
+    try:
+        comparison = compare_scenarios(
+            names, size=args.size, seed=args.seed, workers=args.workers
+        )
+    except ScenarioError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(comparison.render_text())
+    return 0
+
+
+def _run_scenarios(args: argparse.Namespace) -> int:
+    if args.names:
+        for name in BUILTIN_SCENARIOS:
+            print(name)
+        return 0
+    print("Built-in what-if scenarios (run with 'repro campaign --scenario NAME',")
+    print("diff several with 'repro compare'; a JSON file in the ScenarioSpec")
+    print("shape works anywhere a name does):")
+    print()
+    for name, spec in BUILTIN_SCENARIOS.items():
+        print(f"  {name:<24s} {spec.description}")
+    return 0
+
+
 def _run_profiles(_: argparse.Namespace) -> int:
     hierarchy = default_hierarchy()
     print("CA chain profiles:")
@@ -162,6 +233,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "campaign":
         return _run_campaign(args)
+    if args.command == "compare":
+        return _run_compare(args)
+    if args.command == "scenarios":
+        return _run_scenarios(args)
     if args.command == "predict":
         return _run_predict(args)
     if args.command == "profiles":

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from enum import Enum
+from functools import lru_cache
 from typing import Dict, Tuple
 
 from ..tls.cert_compression import CertificateCompressionAlgorithm
@@ -181,6 +182,21 @@ GOOGLE_LIKE = ServerBehaviorProfile(
     unvalidated_retransmission_rounds=2,
     compression_algorithms=(CertificateCompressionAlgorithm.BROTLI,),
 )
+
+
+@lru_cache(maxsize=None)
+def with_universal_compression(profile: ServerBehaviorProfile) -> ServerBehaviorProfile:
+    """The same stack linked against an RFC 8879-capable TLS library.
+
+    The "universal certificate compression" counterfactual of the scenario
+    layer: profiles that already negotiate compression are returned unchanged
+    (identity preserved), everything else gains brotli.  Cached so all
+    deployments of a scenario share one substituted profile instance — the
+    flight-plan cache then keys them identically.
+    """
+    if profile.compression_algorithms:
+        return profile
+    return profile.with_compression(CertificateCompressionAlgorithm.BROTLI)
 
 
 BUILTIN_PROFILES: Dict[str, ServerBehaviorProfile] = {

@@ -22,6 +22,7 @@ from ..netsim.address import IPv4Prefix
 from ..netsim.network import UdpNetwork
 from ..netsim.telescope import Telescope
 from ..quic.server import FlightCacheInfo, FlightPlanCache, flight_plan_cache_info
+from ..scenarios import BASELINE, ScenarioSpec
 from ..webpki.deployment import DomainDeployment, ServiceCategory
 from ..webpki.population import (
     InternetPopulation,
@@ -32,9 +33,11 @@ from ..webpki.population import (
 )
 from .sharding import DEFAULT_SHARD_SIZE, global_sweep_sample, run_sharded_scan
 from .streaming import (
+    META_SERVICE_DOMAINS,
     ReducedCampaignResults,
     ReductionSpec,
     SPOOF_PROVIDERS,
+    provider_of_domain,
     run_streaming_scan,
     take_per_provider,
 )
@@ -57,12 +60,9 @@ TELESCOPE_PREFIX = IPv4Prefix.parse("198.51.100.0/24")
 #: The Meta point-of-presence prefix probed in §4.3.
 META_POP_PREFIX = IPv4Prefix.parse("157.240.20.0/24")
 
-#: Domains the Meta PoP hosts serve; mapped to the "meta" provider even when
-#: the scanned population contains no deployment for them.
-META_SERVICE_DOMAINS = (
-    "facebook.com", "fbcdn.net", "instagram.com", "whatsapp.net",
-    "messenger.com", "igcdn.com",
-)
+# META_SERVICE_DOMAINS lives in .streaming next to provider_of_domain (the
+# shared provider lookup); re-exported here for its historical import site.
+__all__ = ["CampaignResults", "MeasurementCampaign", "META_SERVICE_DOMAINS"]
 
 
 @dataclass
@@ -82,6 +82,9 @@ class CampaignResults:
     analysis_initial_size: int = DEFAULT_ANALYSIS_INITIAL_SIZE
     #: Flight-plan cache counters accumulated while this campaign ran.
     flight_cache: Optional[FlightCacheInfo] = None
+    #: Scenario the campaign ran under (``None``: plain baseline pipeline);
+    #: non-identity scenarios are stamped into the report header.
+    scenario: Optional[ScenarioSpec] = None
 
     # -- convenience accessors used by the figure modules ----------------------
 
@@ -95,8 +98,13 @@ class CampaignResults:
         return [o for o in self.handshakes if o.reachable]
 
     def provider_of(self, domain: str) -> Optional[str]:
-        deployment = self.population.deployment(domain)
-        return deployment.provider if deployment else None
+        """Provider of a scanned domain.
+
+        Routes through the shared stage-5 lookup, so Meta PoP service domains
+        resolve to ``"meta"`` even when absent from the population (they are
+        always probed); any other unknown domain is ``None``.
+        """
+        return provider_of_domain(domain, self.population.deployment)
 
 
 class MeasurementCampaign:
@@ -121,6 +129,16 @@ class MeasurementCampaign:
     what makes 1M-domain campaigns practical.  Streaming regenerates from
     ``population_config``; passing a materialised ``population`` would defeat
     the point and is rejected.
+
+    ``scenario`` runs the campaign under a what-if
+    :class:`~repro.scenarios.ScenarioSpec`: the population config is derived
+    through :meth:`~repro.scenarios.ScenarioSpec.population_config`, the
+    scenario's analysis Initial size replaces the 1362-byte default, and the
+    spec is attached to the results (reports stamp any non-identity
+    scenario).  Equivalently, pass a ``population``/``population_config``
+    already derived from a scenario — the campaign picks the embedded spec
+    up.  The identity ``baseline-2022`` scenario is byte-for-byte the plain
+    pipeline.
     """
 
     def __init__(
@@ -133,8 +151,24 @@ class MeasurementCampaign:
         workers: Optional[int] = None,
         shard_size: Optional[int] = None,
         stream: bool = False,
+        scenario: Optional[ScenarioSpec] = None,
     ) -> None:
         self.stream = stream
+        if scenario is not None:
+            if population is not None:
+                # A scenario-less population and the identity scenario denote
+                # the same pipeline, so only reject genuine mismatches.
+                embedded = population.config.scenario
+                if embedded != scenario and not (embedded is None and scenario.is_identity):
+                    raise ValueError(
+                        "population was generated for a different scenario; "
+                        "generate it from scenario.population_config() or pass "
+                        "population_config instead"
+                    )
+            else:
+                # Derive (or re-derive) the config under the scenario; any
+                # caller-supplied fractions and size/seed are kept as the base.
+                population_config = scenario.population_config(base=population_config)
         if stream:
             if population is not None:
                 raise ValueError(
@@ -146,6 +180,21 @@ class MeasurementCampaign:
         else:
             self.population = population or generate_population(population_config)
             self.population_config = self.population.config
+        #: The campaign's scenario: explicit argument, or whatever the
+        #: population config embeds (``None`` means plain baseline).
+        self.scenario = scenario if scenario is not None else self.population_config.scenario
+        #: Client Initial size of the single-size analysis scan — the one
+        #: scan-side knob a scenario turns.
+        self.analysis_initial_size = (
+            self.scenario.analysis_initial_size
+            if self.scenario is not None and self.scenario.analysis_initial_size is not None
+            else DEFAULT_ANALYSIS_INITIAL_SIZE
+        )
+        #: RFC 8879 offer of the scanning client (empty at baseline, like the
+        #: paper's scanner).
+        self.analysis_compression = (
+            tuple(self.scenario.client_compression) if self.scenario is not None else ()
+        )
         self.run_sweep = run_sweep
         self.sweep_sample_size = sweep_sample_size
         self.spoofed_targets_per_provider = spoofed_targets_per_provider
@@ -173,14 +222,16 @@ class MeasurementCampaign:
         names = [(d.domain, d.rank) for d in population.deployments]
         https_scan = https_scanner.scan(names)
 
-        # 2. QUIC handshake classification at the default Initial size.
+        # 2. QUIC handshake classification at the analysis Initial size.
         quicreach = QuicReach(network)
         targets = [
             (d.domain, d.rank, d.provider)
             for d in population.deployments
             if d.category is ServiceCategory.QUIC
         ]
-        handshakes = quicreach.scan_many(targets, DEFAULT_ANALYSIS_INITIAL_SIZE)
+        handshakes = quicreach.scan_many(
+            targets, self.analysis_initial_size, compression=self.analysis_compression
+        )
 
         # 2b. Optional full Initial-size sweep (Figure 3); sampled for speed.
         # The sample comes from the same helper the sharded runner routes
@@ -230,7 +281,9 @@ class MeasurementCampaign:
             backscatter=backscatter,
             meta_probe_before=meta_probe_before,
             meta_probe_after=meta_probe_after,
+            analysis_initial_size=self.analysis_initial_size,
             flight_cache=flight_cache,
+            scenario=self.scenario,
         )
 
     def _run_sharded(self) -> CampaignResults:
@@ -243,7 +296,8 @@ class MeasurementCampaign:
             population,
             workers=self.workers if self.workers is not None else 1,
             shard_size=self.shard_size if self.shard_size is not None else DEFAULT_SHARD_SIZE,
-            analysis_initial_size=DEFAULT_ANALYSIS_INITIAL_SIZE,
+            analysis_initial_size=self.analysis_initial_size,
+            analysis_compression=self.analysis_compression,
             run_sweep=self.run_sweep,
             sweep_sample_size=self.sweep_sample_size,
         )
@@ -277,7 +331,9 @@ class MeasurementCampaign:
             backscatter=backscatter,
             meta_probe_before=meta_probe_before,
             meta_probe_after=meta_probe_after,
+            analysis_initial_size=self.analysis_initial_size,
             flight_cache=flight_cache,
+            scenario=self.scenario,
         )
 
     def _run_streaming(self) -> ReducedCampaignResults:
@@ -290,7 +346,8 @@ class MeasurementCampaign:
             shard_size=self.shard_size if self.shard_size is not None else DEFAULT_SHARD_SIZE,
             run_sweep=self.run_sweep,
             sweep_sample_size=self.sweep_sample_size,
-            analysis_initial_size=DEFAULT_ANALYSIS_INITIAL_SIZE,
+            analysis_initial_size=self.analysis_initial_size,
+            analysis_compression=self.analysis_compression,
             spec=spec,
         )
         return self.finalize_streaming(scan)
@@ -300,24 +357,29 @@ class MeasurementCampaign:
 
         Public seam for callers that drive the shard loop themselves — the
         phase profiler (``scripts/profile_campaign.py --phases``) and, later,
-        checkpoint/resume from persisted ``ShardSummary`` sets.
+        checkpoint/resume from persisted ``ShardSummary`` sets.  The
+        reduction's scenario fingerprint must match this campaign's: a
+        persisted what-if reduction finalised under the wrong (or no)
+        scenario would render a silently mislabeled report.
         """
         config = self.population_config
+        expected = (self.scenario or BASELINE).fingerprint()
+        if scan.scenario_fingerprint != expected:
+            raise ValueError(
+                "reduction was scanned under a different scenario than this "
+                f"campaign ({scan.scenario_fingerprint[:12]} vs {expected[:12]}); "
+                "construct the campaign from the same scenario's population config"
+            )
 
         # Stage 5 over a mini-fabric of just the reduced spoof-target
         # deployments: `probe_unvalidated` depends only on the probed host, so
         # the backscatter and cache counters equal a full-fabric run.
         stage5_cache = FlightPlanCache()
         network = build_network_for(scan.spoof_deployments, flight_cache=stage5_cache)
-        provider_map = {d.domain: d.provider for d in scan.spoof_deployments}
+        spoof_by_domain = {d.domain: d for d in scan.spoof_deployments}
 
         def provider_of(domain: str) -> Optional[str]:
-            provider = provider_map.get(domain)
-            if provider is not None:
-                return provider
-            if domain in META_SERVICE_DOMAINS:
-                return "meta"
-            return None
+            return provider_of_domain(domain, spoof_by_domain.get)
 
         backscatter, meta_probe_before, meta_probe_after = (
             self._run_incomplete_handshake_stage(
@@ -342,7 +404,9 @@ class MeasurementCampaign:
             backscatter=backscatter,
             meta_probe_before=meta_probe_before,
             meta_probe_after=meta_probe_after,
+            analysis_initial_size=self.analysis_initial_size,
             flight_cache=flight_cache,
+            scenario=self.scenario,
         )
 
     def _run_incomplete_handshake_stage(
@@ -372,12 +436,7 @@ class MeasurementCampaign:
     # -- helpers -----------------------------------------------------------------
 
     def _provider_of_domain(self, domain: str) -> Optional[str]:
-        deployment = self.population.deployment(domain)
-        if deployment is not None:
-            return deployment.provider
-        if domain in META_SERVICE_DOMAINS:
-            return "meta"
-        return None
+        return provider_of_domain(domain, self.population.deployment)
 
     def _pick_spoof_deployments(self) -> List[DomainDeployment]:
         """The hypergiant-hosted services an attacker would reflect off.

@@ -143,10 +143,15 @@ class QuicReach:
         self,
         targets: Sequence[Tuple[str, int, Optional[str]]],
         initial_size: int = DEFAULT_ANALYSIS_INITIAL_SIZE,
+        compression: Sequence[CertificateCompressionAlgorithm] = (),
     ) -> List[HandshakeObservation]:
-        """Scan a list of (domain, rank, provider) targets at one Initial size."""
+        """Scan a list of (domain, rank, provider) targets at one Initial size.
+
+        ``compression`` is the client's RFC 8879 offer (empty, like the
+        paper's scanner, unless a scenario turns it on).
+        """
         return [
-            self.scan_domain(domain, rank, provider, initial_size)
+            self.scan_domain(domain, rank, provider, initial_size, compression=compression)
             for domain, rank, provider in targets
         ]
 

@@ -31,6 +31,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..quic.server import FlightCacheInfo, FlightPlanCache
+from ..scenarios import BASELINE
+from ..tls.cert_compression import CertificateCompressionAlgorithm
 from ..webpki.deployment import DomainDeployment, ServiceCategory
 from ..webpki.population import (
     InternetPopulation,
@@ -116,6 +118,9 @@ class ShardTask:
     #: pickling or regenerating (see :data:`_FORK_SHARED_DEPLOYMENTS`).
     use_fork_shared: bool = False
     analysis_initial_size: int = DEFAULT_ANALYSIS_INITIAL_SIZE
+    #: RFC 8879 algorithms the scanning client offers in the analysis scan
+    #: (empty, like the paper's scanner, unless a scenario turns it on).
+    analysis_compression: Tuple[CertificateCompressionAlgorithm, ...] = ()
     run_sweep: bool = False
     #: This shard's slice of the *globally* computed sweep sample.
     sweep_targets: Tuple[ScanTarget, ...] = ()
@@ -144,6 +149,20 @@ class ShardTask:
         return tuple(
             deployments_for_range(self.population_config, self.start, self.stop, tranco=tranco)
         )
+
+    def scenario_fingerprint(self) -> str:
+        """Fingerprint of the scenario this shard is scanned under.
+
+        Recipe-form tasks carry the spec inside ``population_config.scenario``
+        (that is how a scenario travels into worker processes); tasks without
+        one are by definition the baseline.  The fingerprint is stamped into
+        the shard's :class:`~repro.scanners.streaming.ShardSummary`, where the
+        reducer uses it to reject mixed-scenario merges.
+        """
+        scenario = (
+            self.population_config.scenario if self.population_config is not None else None
+        )
+        return (scenario or BASELINE).fingerprint()
 
     def resolve_skeletons(self) -> Sequence:
         """Cheap, count-only view of the shard (no certificate issuance).
@@ -225,7 +244,9 @@ def scan_shard(
         for d in deployments
         if d.category is ServiceCategory.QUIC
     ]
-    handshakes = quicreach.scan_many(targets, task.analysis_initial_size)
+    handshakes = quicreach.scan_many(
+        targets, task.analysis_initial_size, compression=task.analysis_compression
+    )
 
     # 2b. This shard's part of the Initial-size sweep.  The sample arrives
     # either routed by the parent (``sweep_targets``) or is selected locally
@@ -409,6 +430,7 @@ def build_shard_tasks(
     deployments: Sequence[DomainDeployment],
     shard_size: int = DEFAULT_SHARD_SIZE,
     analysis_initial_size: int = DEFAULT_ANALYSIS_INITIAL_SIZE,
+    analysis_compression: Sequence[CertificateCompressionAlgorithm] = (),
     run_sweep: bool = False,
     sweep_sample_size: Optional[int] = 2000,
     sweep_initial_sizes: Sequence[int] = SWEEP_INITIAL_SIZES,
@@ -440,6 +462,7 @@ def build_shard_tasks(
             stop=spec.stop,
             use_fork_shared=use_fork_shared,
             analysis_initial_size=analysis_initial_size,
+            analysis_compression=tuple(analysis_compression),
             run_sweep=run_sweep,
             sweep_targets=tuple(sweep_by_shard[spec.index]),
             sweep_initial_sizes=tuple(sweep_initial_sizes),
@@ -453,6 +476,7 @@ def run_sharded_scan(
     workers: int = 1,
     shard_size: int = DEFAULT_SHARD_SIZE,
     analysis_initial_size: int = DEFAULT_ANALYSIS_INITIAL_SIZE,
+    analysis_compression: Sequence[CertificateCompressionAlgorithm] = (),
     run_sweep: bool = False,
     sweep_sample_size: Optional[int] = 2000,
     sweep_initial_sizes: Sequence[int] = SWEEP_INITIAL_SIZES,
@@ -484,6 +508,7 @@ def run_sharded_scan(
         population.deployments,
         shard_size=shard_size,
         analysis_initial_size=analysis_initial_size,
+        analysis_compression=analysis_compression,
         run_sweep=run_sweep,
         sweep_sample_size=sweep_sample_size,
         sweep_initial_sizes=sweep_initial_sizes,

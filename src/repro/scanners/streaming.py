@@ -33,12 +33,16 @@ from __future__ import annotations
 from array import array
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..scenarios.spec import ScenarioSpec
 
 from ..analysis.figures import figure02b, figure07, figure08, figure12, figure13, table02
 from ..core.limits import LARGER_COMMON_LIMIT
 from ..quic.handshake import HandshakeClass
 from ..quic.server import FlightCacheInfo
+from ..scenarios import BASELINE_FINGERPRINT
 from ..tls.cert_compression import (
     CertificateCompressionAlgorithm,
     compress_certificate_chain,
@@ -68,6 +72,32 @@ from .zmap import ZmapProbeResult
 
 #: Hypergiants whose services the spoofed-source campaign reflects off.
 SPOOF_PROVIDERS: Tuple[str, ...] = ("cloudflare", "google", "meta")
+
+#: Domains the Meta PoP hosts serve; mapped to the "meta" provider even when
+#: the scanned population contains no deployment for them.
+META_SERVICE_DOMAINS: Tuple[str, ...] = (
+    "facebook.com", "fbcdn.net", "instagram.com", "whatsapp.net",
+    "messenger.com", "igcdn.com",
+)
+
+
+def provider_of_domain(domain: str, deployment_lookup) -> Optional[str]:
+    """Map a scanned domain to its hosting provider name.
+
+    The one implementation of the lookup the backscatter analysis needs:
+    ``deployment_lookup`` returns the deployment (or ``None``) for a domain;
+    Meta PoP service domains fall back to ``"meta"`` even when the sampled
+    population holds no deployment for them (stage 5 always probes the Meta
+    /24).  Shared by the eager :class:`~repro.scanners.orchestrator.CampaignResults`
+    accessor, the campaign's stage-5 analyzer and the streaming finalisation,
+    so the three cannot drift apart.
+    """
+    deployment = deployment_lookup(domain)
+    if deployment is not None and deployment.provider is not None:
+        return deployment.provider
+    if domain in META_SERVICE_DOMAINS:
+        return "meta"
+    return None
 
 
 def take_per_provider(
@@ -118,6 +148,10 @@ class ShardSummary:
     """
 
     index: int
+    #: Fingerprint of the scenario the shard was generated and scanned under
+    #: (:meth:`~repro.scenarios.spec.ScenarioSpec.fingerprint`); the reducer
+    #: rejects merging summaries whose fingerprints differ.
+    scenario_fingerprint: str
     deployment_count: int
     quic_count: int
     https_only_count: int
@@ -326,6 +360,7 @@ def summarize_shard(
 
     return ShardSummary(
         index=task.index,
+        scenario_fingerprint=task.scenario_fingerprint(),
         deployment_count=len(deployments),
         quic_count=len(quic_deployments),
         https_only_count=len(https_only),
@@ -413,6 +448,10 @@ class ReducedScanResults:
     order or grouping produce equal instances.
     """
 
+    #: Fingerprint of the scenario every folded shard was scanned under;
+    #: checked again at finalisation so persisted reductions (the
+    #: checkpoint/resume seam) cannot be finalised under the wrong scenario.
+    scenario_fingerprint: str
     deployment_count: int
     quic_count: int
     https_only_count: int
@@ -473,6 +512,10 @@ class CampaignReducer:
         self._run_sweep = run_sweep
         self._sweep_initial_sizes = tuple(sweep_initial_sizes)
         self._indexes: set = set()
+        #: Scenario fingerprint of every folded summary (``None`` until the
+        #: first fold); a differing fingerprint is a campaign mix-up, not a
+        #: mergeable state, and is rejected.
+        self._scenario_fingerprint: Optional[str] = None
         # Order-insensitive merged state.
         self._deployment_count = 0
         self._quic_count = 0
@@ -554,6 +597,7 @@ class CampaignReducer:
         """
         index = summary.index
         self._indexes = {index}
+        self._scenario_fingerprint = summary.scenario_fingerprint
         self._deployment_count = summary.deployment_count
         self._quic_count = summary.quic_count
         self._https_only_count = summary.https_only_count
@@ -652,6 +696,15 @@ class CampaignReducer:
         overlap = self._indexes & other._indexes
         if overlap:
             raise ValueError(f"shards reduced twice: {sorted(overlap)}")
+        if other._scenario_fingerprint is not None:
+            if self._scenario_fingerprint is None:
+                self._scenario_fingerprint = other._scenario_fingerprint
+            elif self._scenario_fingerprint != other._scenario_fingerprint:
+                raise ValueError(
+                    "mixed-scenario merge rejected: shard summaries were scanned "
+                    f"under different scenario specs ({self._scenario_fingerprint[:12]} "
+                    f"vs {other._scenario_fingerprint[:12]})"
+                )
         self._indexes |= other._indexes
         self._deployment_count += other._deployment_count
         self._quic_count += other._quic_count
@@ -785,6 +838,7 @@ class CampaignReducer:
         )
 
         return ReducedScanResults(
+            scenario_fingerprint=self._scenario_fingerprint or BASELINE_FINGERPRINT,
             deployment_count=self._deployment_count,
             quic_count=self._quic_count,
             https_only_count=self._https_only_count,
@@ -877,6 +931,9 @@ class ReducedCampaignResults:
     meta_probe_after: List[ZmapProbeResult]
     analysis_initial_size: int = DEFAULT_ANALYSIS_INITIAL_SIZE
     flight_cache: Optional[FlightCacheInfo] = None
+    #: Scenario the campaign ran under (``None``: plain baseline pipeline);
+    #: non-identity scenarios are stamped into the report header.
+    scenario: Optional["ScenarioSpec"] = None
 
     # -- convenience accessors mirroring CampaignResults ----------------------
 
@@ -913,6 +970,7 @@ def run_streaming_scan(
     sweep_sample_size: Optional[int] = 2000,
     sweep_initial_sizes: Sequence[int] = SWEEP_INITIAL_SIZES,
     analysis_initial_size: int = DEFAULT_ANALYSIS_INITIAL_SIZE,
+    analysis_compression: Sequence[CertificateCompressionAlgorithm] = (),
     spec: Optional[ReductionSpec] = None,
 ) -> ReducedScanResults:
     """Stream stages 1–4 over a generated population, reducing as shards finish.
@@ -970,6 +1028,7 @@ def run_streaming_scan(
             start=shard.start,
             stop=shard.stop,
             analysis_initial_size=analysis_initial_size,
+            analysis_compression=tuple(analysis_compression),
             run_sweep=run_sweep,
             sweep_local_selection=selections[shard.index],
             sweep_initial_sizes=tuple(sweep_initial_sizes),

@@ -1,0 +1,37 @@
+"""First-class what-if scenarios over the reproduction pipeline.
+
+See :mod:`repro.scenarios.spec` for the contract.  The comparison helper is
+exposed lazily (PEP 562): it imports the campaign orchestrator, which itself
+imports the scanner stack that depends on this package's spec module.
+"""
+
+from .builtin import (
+    BASELINE,
+    BASELINE_FINGERPRINT,
+    BUILTIN_SCENARIOS,
+    load_scenario,
+)
+from .spec import ScenarioError, ScenarioSpec
+
+__all__ = [
+    "BASELINE",
+    "BASELINE_FINGERPRINT",
+    "BUILTIN_SCENARIOS",
+    "ScenarioComparison",
+    "ScenarioError",
+    "ScenarioOutcome",
+    "ScenarioSpec",
+    "compare_scenarios",
+    "load_scenario",
+    "outcome_from_results",
+]
+
+_LAZY = {"compare_scenarios", "ScenarioComparison", "ScenarioOutcome", "outcome_from_results"}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        from . import compare
+
+        return getattr(compare, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

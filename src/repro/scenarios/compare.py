@@ -1,0 +1,236 @@
+"""Side-by-side scenario comparison: N what-if campaigns, one delta table.
+
+:func:`compare_scenarios` runs each scenario through the streaming reduction
+pipeline (bounded parent memory, any population size the machine can scan) and
+distils the counterfactual headline numbers the paper argues about into a
+:class:`ScenarioComparison`:
+
+* the handshake-class funnel (1-RTT / RETRY / Multi-RTT / Amplification
+  shares over reachable QUIC services),
+* amplification factors (share of handshakes exceeding the 3x limit, their
+  mean and maximum factor),
+* the compression rescue share (QUIC chains that fit under the common
+  deployment limit only once brotli-compressed).
+
+The table is deterministic for a given ``(scenarios, size, seed)`` — worker
+count and shard size never change the numbers (the streaming reduction
+contract) — so it can be diffed, committed, or pinned by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..quic.handshake import HandshakeClass
+from .builtin import load_scenario
+from .spec import ScenarioError, ScenarioSpec
+
+#: Handshake classes shown in the funnel, in report order.
+FUNNEL_CLASSES: Tuple[HandshakeClass, ...] = (
+    HandshakeClass.ONE_RTT,
+    HandshakeClass.RETRY,
+    HandshakeClass.MULTI_RTT,
+    HandshakeClass.AMPLIFICATION,
+)
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """The headline numbers of one scenario's campaign."""
+
+    scenario: ScenarioSpec
+    population_size: int
+    analysis_initial_size: int
+    quic_count: int
+    reachable_count: int
+    #: ``(class label, share of reachable)`` in :data:`FUNNEL_CLASSES` order.
+    class_shares: Tuple[Tuple[str, float], ...]
+    #: Share of reachable handshakes whose first RTT exceeds 3x the Initial.
+    exceeding_share: float
+    #: Mean amplification factor over the exceeding handshakes (0 when none).
+    amplification_mean: float
+    #: Largest observed amplification factor (0 when none exceed).
+    amplification_max: float
+    #: Share of QUIC chains that fit the common limit only once compressed.
+    compression_rescue_share: float
+
+    @property
+    def one_rtt_share(self) -> float:
+        return dict(self.class_shares).get(HandshakeClass.ONE_RTT.value, 0.0)
+
+
+def outcome_from_results(scenario: ScenarioSpec, results) -> ScenarioOutcome:
+    """Reduce one streamed campaign's results to its comparison outcome."""
+    scan = results.scan
+    reachable = scan.reachable_count
+    class_shares = tuple(
+        (
+            handshake_class.value,
+            (scan.class_counts.get(handshake_class, 0) / reachable) if reachable else 0.0,
+        )
+        for handshake_class in FUNNEL_CLASSES
+    )
+    exceeding = sum(scan.amp_factor_counts.values())
+    amplification_mean = (
+        sum(factor * count for factor, count in scan.amp_factor_counts.items()) / exceeding
+        if exceeding
+        else 0.0
+    )
+    amplification_max = max(scan.amp_factor_counts) if scan.amp_factor_counts else 0.0
+    rescue_share = (
+        (scan.synth_below_compressed - scan.synth_below_uncompressed) / scan.synth_count
+        if scan.synth_count
+        else 0.0
+    )
+    return ScenarioOutcome(
+        scenario=scenario,
+        population_size=results.population_size,
+        analysis_initial_size=results.analysis_initial_size,
+        quic_count=scan.quic_count,
+        reachable_count=reachable,
+        class_shares=class_shares,
+        exceeding_share=(exceeding / reachable) if reachable else 0.0,
+        amplification_mean=amplification_mean,
+        amplification_max=amplification_max,
+        compression_rescue_share=rescue_share,
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioComparison:
+    """All outcomes of one comparison run, renderable as a delta table."""
+
+    outcomes: Tuple[ScenarioOutcome, ...]
+    population_size: int
+    seed: int
+
+    @property
+    def baseline(self) -> ScenarioOutcome:
+        """The first scenario: the reference column deltas are taken against."""
+        return self.outcomes[0]
+
+    def rows(self) -> List[Tuple[str, Tuple[float, ...], str]]:
+        """``(metric label, per-scenario values, kind)`` rows of the table.
+
+        ``kind`` is ``"count"``, ``"share"`` or ``"factor"`` and selects the
+        cell formatting.
+        """
+        rows: List[Tuple[str, Tuple[float, ...], str]] = [
+            ("QUIC services", tuple(float(o.quic_count) for o in self.outcomes), "count"),
+            ("reachable", tuple(float(o.reachable_count) for o in self.outcomes), "count"),
+        ]
+        for position, handshake_class in enumerate(FUNNEL_CLASSES):
+            rows.append(
+                (
+                    f"{handshake_class.value} share",
+                    tuple(o.class_shares[position][1] for o in self.outcomes),
+                    "share",
+                )
+            )
+        rows.append(
+            ("exceeds 3x limit", tuple(o.exceeding_share for o in self.outcomes), "share")
+        )
+        rows.append(
+            ("mean amp factor", tuple(o.amplification_mean for o in self.outcomes), "factor")
+        )
+        rows.append(
+            ("max amp factor", tuple(o.amplification_max for o in self.outcomes), "factor")
+        )
+        rows.append(
+            (
+                "compression rescue",
+                tuple(o.compression_rescue_share for o in self.outcomes),
+                "share",
+            )
+        )
+        return rows
+
+    @staticmethod
+    def _cell(value: float, reference: Optional[float], kind: str) -> str:
+        if kind == "count":
+            text = f"{int(value)}"
+            if reference is not None and value != reference:
+                text += f" ({int(value - reference):+d})"
+        elif kind == "share":
+            text = f"{value:7.2%}"
+            if reference is not None:
+                delta = (value - reference) * 100.0
+                text += f" ({delta:+.2f}pp)" if abs(delta) >= 0.005 else " (=)"
+        else:  # factor
+            text = f"{value:6.2f}x"
+            if reference is not None:
+                delta = value - reference
+                text += f" ({delta:+.2f})" if abs(delta) >= 0.005 else " (=)"
+        return text
+
+    def render_text(self) -> str:
+        """The side-by-side delta table (first scenario is the reference)."""
+        names = [outcome.scenario.name for outcome in self.outcomes]
+        initial_sizes = [outcome.analysis_initial_size for outcome in self.outcomes]
+        header: List[List[str]] = [["metric", *names]]
+        body: List[List[str]] = [
+            ["client Initial", *(f"{size} B" for size in initial_sizes)]
+        ]
+        for label, values, kind in self.rows():
+            reference = values[0]
+            cells = [label]
+            for position, value in enumerate(values):
+                cells.append(self._cell(value, None if position == 0 else reference, kind))
+            body.append(cells)
+
+        widths = [
+            max(len(row[column]) for row in header + body)
+            for column in range(len(header[0]))
+        ]
+        lines = [
+            f"Scenario comparison — {self.population_size} domains, seed {self.seed} "
+            f"(deltas vs {names[0]})"
+        ]
+        for row in header:
+            lines.append(
+                "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+            )
+            lines.append("  ".join("-" * width for width in widths))
+        for row in body:
+            lines.append(
+                "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+            )
+        return "\n".join(lines)
+
+
+def compare_scenarios(
+    scenarios: Sequence[Union[ScenarioSpec, str]],
+    size: int = 1200,
+    seed: int = 2022,
+    workers: Optional[int] = None,
+    shard_size: Optional[int] = None,
+    spoofed_targets_per_provider: int = 25,
+) -> ScenarioComparison:
+    """Run each scenario through the streaming pipeline and tabulate deltas.
+
+    ``scenarios`` may mix :class:`ScenarioSpec` values with built-in names or
+    JSON file paths (resolved via :func:`~repro.scenarios.builtin.load_scenario`).
+    The first scenario is the reference column; by convention start with
+    ``baseline-2022``.  All campaigns share ``size``/``seed``, so every delta
+    is attributable to the scenario alone.
+    """
+    from ..scanners.orchestrator import MeasurementCampaign
+
+    if not scenarios:
+        raise ScenarioError("compare_scenarios needs at least one scenario")
+    specs = [
+        scenario if isinstance(scenario, ScenarioSpec) else load_scenario(scenario)
+        for scenario in scenarios
+    ]
+    outcomes = []
+    for spec in specs:
+        campaign = MeasurementCampaign(
+            population_config=spec.population_config(size=size, seed=seed),
+            workers=workers,
+            shard_size=shard_size,
+            stream=True,
+            spoofed_targets_per_provider=spoofed_targets_per_provider,
+        )
+        outcomes.append(outcome_from_results(spec, campaign.run()))
+    return ScenarioComparison(outcomes=tuple(outcomes), population_size=size, seed=seed)

@@ -20,7 +20,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (scenarios -> population)
+    from ..scenarios.spec import ScenarioSpec
 
 from ..netsim.address import IPv4Address, IPv4Prefix
 from ..netsim.dns import DnsRcode, SimulatedResolver
@@ -81,6 +84,13 @@ class PopulationConfig:
     #: Share of generic QUIC deployments built on a TLS library without
     #: RFC 8879 support (brings overall brotli support to ≈96 %, Table 1).
     no_compression_fraction: float = 0.04
+    #: What-if scenario this population is generated under (see
+    #: :mod:`repro.scenarios`).  ``None`` (and any identity scenario) is the
+    #: 2022 baseline.  The scenario's skeleton transform runs *after* a
+    #: shard's RNG stream is consumed, so the per-shard RNG contract — and
+    #: therefore which domains, DNS outcomes, archetypes and addresses a seed
+    #: denotes — is scenario-independent.
+    scenario: Optional["ScenarioSpec"] = None
 
     def __post_init__(self) -> None:
         if self.size <= 0:
@@ -484,6 +494,14 @@ def _generate_shard_skeletons(
                 quic_shares_https=quic_shares_https,
             )
         )
+
+    # Phase 1.5: the scenario transform.  Runs after the shard's RNG stream is
+    # fully consumed and draws no randomness itself, so every scenario sees
+    # the same underlying population and only the recorded chain specs /
+    # behaviour profiles differ.  Identity scenarios skip the rewrite.
+    scenario = config.scenario
+    if scenario is not None and not scenario.is_identity:
+        skeletons = scenario.transform_skeletons(skeletons)
 
     return skeletons
 

@@ -116,6 +116,10 @@ class ChainSpec:
     #: Indices into :func:`bloat_pool` appended after the delivered chain
     #: (empty for the overwhelmingly common non-bloated case).
     bloat_extras: Tuple[int, ...] = ()
+    #: Deliver at most this many certificates (leaf first); scenario knob for
+    #: the trimmed-chain counterfactual.  ``None`` delivers the chain as
+    #: issued.  Applied after ``bloat_extras``, so it also caps bloat.
+    trim_to: Optional[int] = None
 
     def san_names(self) -> List[str]:
         """The expanded SAN-name list (first name is always the domain)."""
@@ -138,6 +142,8 @@ class ChainSpec:
             chain = CertificateChain(
                 chain.certificates + tuple(pool[index] for index in self.bloat_extras)
             )
+        if self.trim_to is not None and len(chain.certificates) > self.trim_to:
+            chain = CertificateChain(chain.certificates[: self.trim_to])
         return chain
 
 

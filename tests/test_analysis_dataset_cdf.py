@@ -75,6 +75,18 @@ class TestEmpiricalCdf:
         cdf = EmpiricalCdf.from_values([100, 200, 300])
         assert "n=3" in cdf.render_text("bytes")
 
+    def test_from_counts_ignores_zero_multiplicity_entries(self):
+        cdf = EmpiricalCdf.from_counts({1.0: 0, 2.0: 3})
+        assert cdf == EmpiricalCdf.from_values([2.0, 2.0, 2.0])
+        assert cdf.probability_at(1.0) == 0.0
+        all_zero = EmpiricalCdf.from_counts({1.0: 0})
+        assert all_zero.is_empty
+        assert all_zero.points() == []
+
+    def test_from_counts_rejects_negative_multiplicities(self):
+        with pytest.raises(ValueError, match="negative multiplicity"):
+            EmpiricalCdf.from_counts({1.0: -3, 2.0: 5})
+
 
 class TestStats:
     def test_mean_median(self):

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.scenarios import BUILTIN_SCENARIOS
 
 
 class TestParser:
@@ -61,6 +62,21 @@ class TestCommands:
         assert "figure06" in content
         assert "Table 2" in content
 
+    def test_predict_initial_size_moves_the_class(self, capsys):
+        chain = "Let's Encrypt R3 + root X1"
+        assert main(["predict", "--chain", chain, "--initial-size", "1200"]) == 0
+        small = capsys.readouterr().out
+        assert main(["predict", "--chain", chain, "--initial-size", "1472"]) == 0
+        large = capsys.readouterr().out
+        assert "smallest 1-RTT Initial" in small
+        assert small != large
+
+    def test_profiles_lists_every_builtin_behaviour(self, capsys):
+        assert main(["profiles"]) == 0
+        output = capsys.readouterr().out
+        for name in ("rfc-compliant", "google-like", "retry-always", "mvfst-patched"):
+            assert name in output
+
     def test_campaign_writes_report(self, tmp_path, capsys):
         output_file = tmp_path / "report.txt"
         export_dir = tmp_path / "export"
@@ -73,3 +89,64 @@ class TestCommands:
         assert "Table 2" in content
         assert (export_dir / "evaluation.txt").exists()
         assert (export_dir / "figure06_quic.csv").exists()
+
+
+class TestScenarioCommands:
+    def test_scenarios_lists_builtins_with_descriptions(self, capsys):
+        assert main(["scenarios"]) == 0
+        output = capsys.readouterr().out
+        for name, spec in BUILTIN_SCENARIOS.items():
+            assert name in output
+            assert spec.description.split("?")[0] in output
+
+    def test_scenarios_names_prints_bare_names(self, capsys):
+        assert main(["scenarios", "--names"]) == 0
+        output = capsys.readouterr().out
+        assert output.split() == list(BUILTIN_SCENARIOS)
+
+    def test_campaign_under_a_builtin_scenario_stamps_the_report(self, tmp_path, capsys):
+        output_file = tmp_path / "what-if.txt"
+        assert main(
+            ["campaign", "--size", "250", "--stream",
+             "--scenario", "universal-compression", "--output", str(output_file)]
+        ) == 0
+        content = output_file.read_text()
+        assert "scenario: universal-compression" in content
+        assert "figure06" in content
+
+    def test_campaign_under_a_scenario_file(self, tmp_path, capsys):
+        scenario_file = tmp_path / "custom.json"
+        scenario_file.write_text(
+            BUILTIN_SCENARIOS["trimmed-chains"].to_json(), encoding="utf-8"
+        )
+        output_file = tmp_path / "custom.txt"
+        assert main(
+            ["campaign", "--size", "250", "--stream",
+             "--scenario", str(scenario_file), "--output", str(output_file)]
+        ) == 0
+        assert "scenario: trimmed-chains" in output_file.read_text()
+
+    def test_campaign_with_unknown_scenario_fails_readably(self, capsys):
+        assert main(["campaign", "--size", "250", "--scenario", "no-such-world"]) == 2
+        error = capsys.readouterr().err
+        assert "unknown scenario 'no-such-world'" in error
+        assert "baseline-2022" in error  # the message lists the built-ins
+
+    def test_campaign_with_malformed_scenario_file_fails_readably(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert main(["campaign", "--size", "250", "--scenario", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_compare_prints_the_delta_table(self, capsys):
+        assert main(
+            ["compare", "--scenarios", "baseline-2022,trimmed-chains", "--size", "250"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "Scenario comparison" in output
+        assert "trimmed-chains" in output
+        assert "1-RTT share" in output
+
+    def test_compare_with_unknown_scenario_fails_readably(self, capsys):
+        assert main(["compare", "--scenarios", "nope", "--size", "250"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err

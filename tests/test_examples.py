@@ -1,0 +1,71 @@
+"""Smoke-execute every script in ``examples/`` so they cannot silently rot.
+
+Each example is run as a real subprocess (its own interpreter, ``PYTHONPATH``
+pointing at ``src/``) with a tiny population where the script takes one, so
+the suite stays fast while still exercising the public API surface the
+examples advertise.  A script that drifts from a moved or renamed API fails
+here with its stderr attached.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES_DIR = os.path.join(REPO_ROOT, "examples")
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+
+#: Arguments that keep each example tiny; scripts without an entry take none.
+SMALL_ARGS = {
+    "quickstart.py": ["250"],
+    "full_evaluation.py": ["250"],
+    "operator_chain_audit.py": ["smoke-test.example"],
+}
+
+#: A fragment every healthy run prints, per script (falls back to any output).
+EXPECTED_OUTPUT = {
+    "quickstart.py": "Handshake classes",
+    "full_evaluation.py": "reproduced evaluation",
+    "operator_chain_audit.py": "Certificate-chain audit",
+    "browser_handshake_planning.py": "===",
+    "amplification_audit.py": "Probing every host",
+}
+
+EXAMPLE_SCRIPTS = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+def test_every_example_is_covered():
+    """A new example must declare its smoke arguments (or rely on defaults)."""
+    assert EXAMPLE_SCRIPTS, "examples/ directory is empty?"
+    unknown = set(SMALL_ARGS) - set(EXAMPLE_SCRIPTS)
+    assert not unknown, f"SMALL_ARGS references missing examples: {sorted(unknown)}"
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS)
+def test_example_runs_to_completion(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script), *SMALL_ARGS.get(script, [])],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert process.returncode == 0, (
+        f"{script} exited with {process.returncode}\n"
+        f"stdout:\n{process.stdout[-2000:]}\nstderr:\n{process.stderr[-2000:]}"
+    )
+    expected = EXPECTED_OUTPUT.get(script)
+    if expected is not None:
+        assert expected in process.stdout, (
+            f"{script} ran but did not print {expected!r}\n"
+            f"stdout:\n{process.stdout[-2000:]}"
+        )
