@@ -62,6 +62,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-size", type=int, default=None,
         help="with --phases: deployments per shard (default: 2048)",
     )
+    parser.add_argument(
+        "--checkpoint-dir", nargs="?", const="", default=None, metavar="DIR",
+        help="with --phases: persist every shard summary while timing the "
+             "writes as a separate 'checkpoint' phase (no DIR: a temporary "
+             "directory, discarded afterwards)",
+    )
     return parser
 
 
@@ -103,6 +109,19 @@ def run_phases(args: argparse.Namespace) -> int:
 
     generate_tranco_list(config.size, seed=config.seed)
 
+    store = tempdir = None
+    if args.checkpoint_dir is not None:
+        import tempfile
+
+        from repro.scanners.checkpoint import CheckpointKey, CheckpointStore
+
+        directory = args.checkpoint_dir
+        if not directory:
+            tempdir = tempfile.TemporaryDirectory(prefix="repro-ckpt-")
+            directory = tempdir.name
+        store = CheckpointStore(directory)
+        store.bind_campaign(config, shard_size)
+
     total_start = time.perf_counter()
 
     # Discovery pass (skeleton generation only) — what `--stream --sweep`
@@ -117,7 +136,7 @@ def run_phases(args: argparse.Namespace) -> int:
     # Streaming stages, stopwatch around each: generation (shard
     # regeneration, chains included), scan (stages 1–4), reduce (summarise +
     # fold).  Identical results to `repro campaign --stream` by construction.
-    generation = scan_seconds = reduce_seconds = 0.0
+    generation = scan_seconds = reduce_seconds = checkpoint_seconds = 0.0
     reducer = CampaignReducer(spec=spec, run_sweep=False)
     for task in tasks:
         t0 = time.perf_counter()
@@ -125,8 +144,14 @@ def run_phases(args: argparse.Namespace) -> int:
         t1 = time.perf_counter()
         scan = scan_shard(task, deployments=deployments)
         t2 = time.perf_counter()
-        reducer.add(summarize_shard(task, deployments, scan, spec))
+        summary = summarize_shard(task, deployments, scan, spec)
+        reducer.add(summary)
         t3 = time.perf_counter()
+        if store is not None:
+            store.save(
+                CheckpointKey.for_campaign(config, shard_size, task.index), summary
+            )
+            checkpoint_seconds += time.perf_counter() - t3
         generation += t1 - t0
         scan_seconds += t2 - t1
         reduce_seconds += t3 - t2
@@ -149,6 +174,8 @@ def run_phases(args: argparse.Namespace) -> int:
         "report": round(report_seconds, 4),
         "total": round(total, 4),
     }
+    if store is not None:
+        phases["checkpoint"] = round(checkpoint_seconds, 4)
     discovery_block = {
         "skeleton_pass": round(discovery, 4),
         "full_regeneration": round(generation, 4),
@@ -158,8 +185,13 @@ def run_phases(args: argparse.Namespace) -> int:
 
     print(f"campaign phases ({config.size} domains, seed {config.seed}, "
           f"shard size {shard_size}, streamed, no sweep):")
-    for name in ("generation", "scan", "reduce", "report", "total"):
-        print(f"  {name:<11s} {phases[name]:8.2f} s")
+    for name in ("generation", "scan", "reduce", "checkpoint", "report", "total"):
+        if name in phases:
+            print(f"  {name:<11s} {phases[name]:8.2f} s")
+    if store is not None:
+        share = checkpoint_seconds / total if total else 0.0
+        print(f"checkpoint overhead: {share:.1%} of campaign wall time "
+              f"({len(tasks)} shard summaries persisted)")
     print(f"discovery pass (skeletons only): {discovery:6.2f} s "
           f"({discovery_block['speedup']}x cheaper than regeneration, "
           f"{quic_targets} QUIC targets)")
@@ -179,6 +211,7 @@ def run_phases(args: argparse.Namespace) -> int:
                 "shard_size": shard_size,
                 "stream": True,
                 "sweep": False,
+                "checkpointing": store is not None,
             },
             "phases": phases,
             "discovery_pass": discovery_block,
@@ -190,6 +223,8 @@ def run_phases(args: argparse.Namespace) -> int:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"phase breakdown written to {args.json}")
+    if tempdir is not None:
+        tempdir.cleanup()
     return 0
 
 

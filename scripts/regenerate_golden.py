@@ -59,12 +59,16 @@ def compute_golden_digests(params=None):
 
 
 def main() -> int:
+    from repro.core.ioutil import atomic_write_text
+
     digests = compute_golden_digests()
     payload = {"campaign": CAMPAIGN_PARAMS, "digests": digests}
     os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
-    with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    # Atomic: a Ctrl-C here must not leave a truncated digest file that every
+    # subsequent golden-report test run would trust.
+    atomic_write_text(
+        GOLDEN_PATH, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
     print(f"{len(digests)} artefact digests written to {GOLDEN_PATH}")
     return 0
 

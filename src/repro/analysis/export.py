@@ -12,6 +12,7 @@ import os
 from dataclasses import dataclass
 from typing import Dict, List
 
+from ..core.ioutil import atomic_write_text
 from ..scanners.orchestrator import CampaignResults
 from .dataset import Column, Table
 from .report import AnyCampaignResults, EvaluationReport, build_report
@@ -118,15 +119,16 @@ def export_evaluation(
     os.makedirs(directory, exist_ok=True)
     report = report or build_report(results)
 
+    # Atomic writes throughout: an interrupted (or fault-injected) export can
+    # never leave a truncated report or CSV behind — readers see the previous
+    # complete artifact or the new one, nothing in between.
     report_path = os.path.join(directory, "evaluation.txt")
-    with open(report_path, "w", encoding="utf-8") as handle:
-        handle.write(report.text + "\n")
+    atomic_write_text(report_path, report.text + "\n")
 
     csv_paths: Dict[str, str] = {}
     for name, section in report.sections.items():
         for table_name, table in _section_tables(name, section).items():
             path = os.path.join(directory, f"{table_name}.csv")
-            with open(path, "w", encoding="utf-8") as handle:
-                handle.write(table.to_csv() + "\n")
+            atomic_write_text(path, table.to_csv() + "\n")
             csv_paths[table_name] = path
     return ExportedFiles(directory=directory, report_path=report_path, csv_paths=csv_paths)

@@ -59,6 +59,33 @@ def build_parser() -> argparse.ArgumentParser:
              "reports are byte-identical to the eager path",
     )
     campaign.add_argument(
+        "--checkpoint-dir", type=str, default=None, metavar="DIR",
+        help="persist each finished shard's summary to this directory "
+             "(atomic, content-addressed, self-verifying); requires --stream",
+    )
+    campaign.add_argument(
+        "--resume", action="store_true",
+        help="load valid checkpoints from --checkpoint-dir and dispatch only "
+             "the missing shards; corrupt checkpoints are quarantined and "
+             "re-scanned, and the finished report is byte-identical to an "
+             "uninterrupted run",
+    )
+    campaign.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="abandon and re-dispatch a shard that runs longer than this "
+             "(multi-worker runs only)",
+    )
+    campaign.add_argument(
+        "--max-shard-retries", type=int, default=None, metavar="N",
+        help="dispatch each shard at most N times before failing the run "
+             "with a manifest of incomplete shards (default: 3)",
+    )
+    campaign.add_argument(
+        "--fault-plan", type=str, default=None, metavar="FILE.json",
+        help="arm a deterministic fault-injection plan (testing/CI; see "
+             "repro.scanners.faults)",
+    )
+    campaign.add_argument(
         "--timings", action="store_true",
         help="print per-phase wall clock (generation / campaign / report) to "
              "stderr; see scripts/profile_campaign.py --phases for the full "
@@ -106,6 +133,37 @@ def build_parser() -> argparse.ArgumentParser:
 def _run_campaign(args: argparse.Namespace) -> int:
     import time
 
+    from .scanners.checkpoint import CheckpointError
+    from .scanners.faults import FaultPlanError, load_fault_plan
+    from .scanners.sharding import RetryPolicy, ShardDispatchError
+
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume needs --checkpoint-dir DIR to resume from", file=sys.stderr)
+        return 2
+    if args.checkpoint_dir and not args.stream:
+        print(
+            "error: checkpointing rides the streaming pipeline; add --stream",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        fault_plan = load_fault_plan(args.fault_plan)
+    except FaultPlanError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    retry_policy = None
+    if args.shard_timeout is not None or args.max_shard_retries is not None:
+        try:
+            retry_policy = RetryPolicy(
+                max_attempts=(
+                    args.max_shard_retries if args.max_shard_retries is not None else 3
+                ),
+                shard_timeout=args.shard_timeout,
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
     config = PopulationConfig(size=args.size, seed=args.seed)
     if args.scenario:
         try:
@@ -124,6 +182,10 @@ def _run_campaign(args: argparse.Namespace) -> int:
             workers=args.workers,
             shard_size=args.shard_size,
             stream=True,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            retry_policy=retry_policy,
+            fault_plan=fault_plan,
         )
     else:
         campaign = MeasurementCampaign(
@@ -131,9 +193,23 @@ def _run_campaign(args: argparse.Namespace) -> int:
             run_sweep=args.sweep,
             workers=args.workers,
             shard_size=args.shard_size,
+            retry_policy=retry_policy,
         )
     t1 = time.perf_counter()
-    results = campaign.run()
+    try:
+        results = campaign.run()
+    except CheckpointError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ShardDispatchError as error:
+        suffix = (
+            f"; manifest of incomplete shards: "
+            f"{args.checkpoint_dir}/incomplete.json"
+            if args.checkpoint_dir
+            else ""
+        )
+        print(f"error: {error}{suffix}", file=sys.stderr)
+        return 1
     t2 = time.perf_counter()
     report = build_report(results, include_sweep=args.sweep)
     t3 = time.perf_counter()
@@ -142,8 +218,9 @@ def _run_campaign(args: argparse.Namespace) -> int:
         print(f"campaign:              {t2 - t1:8.2f} s", file=sys.stderr)
         print(f"report:                {t3 - t2:8.2f} s", file=sys.stderr)
     if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(report.text + "\n")
+        from .core.ioutil import atomic_write_text
+
+        atomic_write_text(args.output, report.text + "\n")
         print(f"report written to {args.output}")
     else:
         print(report.text)

@@ -1,0 +1,46 @@
+"""Atomic file writes shared by every artifact-producing layer.
+
+Reports, per-figure CSVs, golden digests and shard checkpoints are all
+consumed by tooling that diffs or hashes them byte-for-byte, so a partially
+written file is worse than no file: a reader cannot tell a truncated artifact
+from an intentionally short one.  Every writer therefore routes through the
+same tmp-file + :func:`os.replace` pattern — the replace is atomic on POSIX
+and Windows, so a crash (or an injected fault) at any instant leaves either
+the complete previous file or the complete new one, never a torn write.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (tmp file + ``os.replace``).
+
+    The temporary file lives in the destination directory so the final
+    replace never crosses a filesystem boundary (rename atomicity only holds
+    within one filesystem).  On any failure the temporary file is removed and
+    the destination is left untouched.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    descriptor, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> None:
+    """Atomically write ``text`` (see :func:`atomic_write_bytes`)."""
+    atomic_write_bytes(path, text.encode(encoding))

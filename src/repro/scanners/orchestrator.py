@@ -152,8 +152,16 @@ class MeasurementCampaign:
         shard_size: Optional[int] = None,
         stream: bool = False,
         scenario: Optional[ScenarioSpec] = None,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
+        retry_policy=None,
+        fault_plan=None,
     ) -> None:
         self.stream = stream
+        if (checkpoint_dir is not None or resume) and not stream:
+            raise ValueError(
+                "checkpoint/resume rides the streaming pipeline; pass stream=True"
+            )
         if scenario is not None:
             if population is not None:
                 # A scenario-less population and the identity scenario denote
@@ -200,6 +208,11 @@ class MeasurementCampaign:
         self.spoofed_targets_per_provider = spoofed_targets_per_provider
         self.workers = workers
         self.shard_size = shard_size
+        #: Durability knobs, streamed runs only (see run_streaming_scan).
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
+        self.retry_policy = retry_policy
+        self.fault_plan = fault_plan
 
     # -- pipeline ---------------------------------------------------------------
 
@@ -300,6 +313,7 @@ class MeasurementCampaign:
             analysis_compression=self.analysis_compression,
             run_sweep=self.run_sweep,
             sweep_sample_size=self.sweep_sample_size,
+            retry_policy=self.retry_policy,
         )
 
         # Stage 5 runs in the parent over the full fabric, exactly as serially
@@ -349,6 +363,10 @@ class MeasurementCampaign:
             analysis_initial_size=self.analysis_initial_size,
             analysis_compression=self.analysis_compression,
             spec=spec,
+            checkpoint_dir=self.checkpoint_dir,
+            resume=self.resume,
+            retry_policy=self.retry_policy,
+            fault_plan=self.fault_plan,
         )
         return self.finalize_streaming(scan)
 

@@ -26,9 +26,10 @@ campaign reports:
 from __future__ import annotations
 
 import multiprocessing
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..quic.server import FlightCacheInfo, FlightPlanCache
 from ..scenarios import BASELINE
@@ -390,6 +391,157 @@ def merge_shard_results(
 
 
 # ---------------------------------------------------------------------------
+# Retrying shard dispatch (the one recovery path every runner shares)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-shard retry knobs for :func:`dispatch_with_retry`.
+
+    ``max_attempts`` counts dispatches, not failures: a shard is given up on
+    after being dispatched that many times.  ``shard_timeout`` (seconds) only
+    applies to multi-process dispatch — an in-process shard cannot be
+    abandoned mid-call.  Backoff between retry rounds grows exponentially
+    from ``backoff_base`` and is capped at ``backoff_cap``.
+    """
+
+    max_attempts: int = 3
+    shard_timeout: Optional[float] = None
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts <= 0:
+            raise ValueError("max_attempts must be positive")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError("shard_timeout must be positive")
+
+    def backoff(self, attempt: int) -> float:
+        return min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+
+
+class ShardDispatchError(RuntimeError):
+    """Shards remained unfinished after every retry.
+
+    Never a silently partial result: the error names exactly which shard
+    indices are incomplete (``incomplete``) and which finished
+    (``completed``), and — when a checkpoint store is attached — the caller
+    persists the same lists as an ``incomplete.json`` manifest.
+    """
+
+    def __init__(
+        self, message: str, incomplete: Sequence[int], completed: Sequence[int] = ()
+    ) -> None:
+        super().__init__(message)
+        self.incomplete = tuple(sorted(incomplete))
+        self.completed = tuple(sorted(completed))
+
+
+def dispatch_with_retry(
+    indices: Sequence[int],
+    make_payload: Callable[[int, int], object],
+    worker_fn: Callable[[object], object],
+    workers: int,
+    policy: Optional[RetryPolicy],
+    on_result: Callable[[int, object], None],
+    mp_context=None,
+) -> None:
+    """Run ``worker_fn`` over one payload per shard index, retrying failures.
+
+    The durability core of both runners: each shard is dispatched up to
+    ``policy.max_attempts`` times (``make_payload(index, attempt)`` builds the
+    payload, so workers can know the attempt number), and ``on_result`` is
+    called exactly once per shard, in completion order — downstream folding
+    must therefore be order-insensitive, which ``CampaignReducer`` guarantees
+    by construction.
+
+    Failure containment, multi-process mode:
+
+    * a worker exception fails only its own shard for that round;
+    * a ``BrokenProcessPool`` (worker killed, OOM) fails every shard not yet
+      collected, and the next round starts on a *fresh* pool;
+    * a shard exceeding ``policy.shard_timeout`` is abandoned (the pool is
+      discarded; a stalled worker process drains in the background) and
+      re-dispatched on the fresh pool.
+
+    Retries cannot change bytes: every shard result is a pure function of its
+    task, so a rerun merges identically.  When shards still fail after the
+    last attempt the whole dispatch raises :class:`ShardDispatchError` naming
+    them — completed work is only durable if the caller checkpointed it.
+    """
+    policy = policy or RetryPolicy()
+    pending: Dict[int, int] = {index: 0 for index in indices}
+    completed: List[int] = []
+    last_errors: Dict[int, BaseException] = {}
+    multiprocess = workers > 1
+
+    while pending:
+        failed: List[int] = []
+        if not multiprocess:
+            for index in sorted(pending):
+                try:
+                    result = worker_fn(make_payload(index, pending[index]))
+                except Exception as error:
+                    failed.append(index)
+                    last_errors[index] = error
+                else:
+                    completed.append(index)
+                    on_result(index, result)
+        else:
+            pool = ProcessPoolExecutor(
+                max_workers=min(workers, len(pending)), mp_context=mp_context
+            )
+            try:
+                futures = {
+                    index: pool.submit(
+                        worker_fn, make_payload(index, attempt)
+                    )
+                    for index, attempt in sorted(pending.items())
+                }
+                for index, future in futures.items():
+                    try:
+                        result = future.result(timeout=policy.shard_timeout)
+                    except Exception as error:
+                        # Worker exception, BrokenProcessPool, or timeout —
+                        # each fails this shard for this round only.  A
+                        # broken pool fails all uncollected futures instantly,
+                        # so the loop drains without re-waiting timeouts.
+                        failed.append(index)
+                        last_errors[index] = error
+                    else:
+                        completed.append(index)
+                        on_result(index, result)
+            finally:
+                # Never wait: a stalled or dead pool must not block recovery.
+                # Timed-out tasks may still be running; their results are
+                # discarded with the pool, so `on_result` stays once-per-shard.
+                pool.shutdown(wait=False, cancel_futures=True)
+
+        retry: Dict[int, int] = {}
+        exhausted: List[int] = []
+        for index in failed:
+            attempt = pending[index] + 1
+            if attempt >= policy.max_attempts:
+                exhausted.append(index)
+            else:
+                retry[index] = attempt
+        if exhausted:
+            incomplete = sorted(set(exhausted) | set(retry))
+            error = ShardDispatchError(
+                f"campaign incomplete: shards {incomplete} unfinished after "
+                f"{policy.max_attempts} attempt(s) "
+                f"(first unrecovered error: {last_errors[exhausted[0]]!r})",
+                incomplete=incomplete,
+                completed=completed,
+            )
+            error.__cause__ = last_errors[exhausted[0]]
+            raise error
+        pending = retry
+        if pending:
+            time.sleep(policy.backoff(max(pending.values()) - 1))
+
+
+# ---------------------------------------------------------------------------
 # Driving a full sharded scan
 # ---------------------------------------------------------------------------
 
@@ -480,12 +632,18 @@ def run_sharded_scan(
     run_sweep: bool = False,
     sweep_sample_size: Optional[int] = 2000,
     sweep_initial_sizes: Sequence[int] = SWEEP_INITIAL_SIZES,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> MergedScanResults:
     """Run stages 1–4 over the population, sharded across ``workers`` processes.
 
     ``workers=1`` executes the same shard tasks in-process (no pool), which is
     both the bitwise reference for multi-process runs and the tier-1/CI
     default.  The merged result does not depend on ``workers``.
+
+    Dispatch goes through :func:`dispatch_with_retry`: a worker crash or a
+    broken pool re-dispatches only the affected shards on a fresh pool, and
+    exhausted retries raise :class:`ShardDispatchError` naming the incomplete
+    shard indices instead of returning a silently partial merge.
     """
     if workers <= 0:
         raise ValueError("workers must be positive")
@@ -515,22 +673,47 @@ def run_sharded_scan(
         regenerate_config=regenerate_config,
         use_fork_shared=fork_available,
     )
+    tasks_by_index = {task.index: task for task in tasks}
+    partials_by_index: Dict[int, ShardScanResult] = {}
+
+    def on_result(index: int, partial: ShardScanResult) -> None:
+        partials_by_index[index] = partial
+
+    def make_payload(index: int, attempt: int) -> ShardTask:
+        return tasks_by_index[index]
+
     if not multiprocess:
-        partials = [scan_shard(task) for task in tasks]
+        dispatch_with_retry(
+            sorted(tasks_by_index), make_payload, scan_shard, 1, retry_policy, on_result
+        )
     elif fork_available:
         global _FORK_SHARED_DEPLOYMENTS
         _FORK_SHARED_DEPLOYMENTS = population.deployments
         try:
-            context = multiprocessing.get_context("fork")
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(tasks)), mp_context=context
-            ) as pool:
-                partials = list(pool.map(scan_shard, tasks))
+            # The shared list stays published across retry rounds, so a fresh
+            # fork pool spun up after a crash re-inherits it.
+            dispatch_with_retry(
+                sorted(tasks_by_index),
+                make_payload,
+                scan_shard,
+                workers,
+                retry_policy,
+                on_result,
+                mp_context=multiprocessing.get_context("fork"),
+            )
         finally:
             _FORK_SHARED_DEPLOYMENTS = None
     else:
-        with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-            partials = list(pool.map(scan_shard, tasks))
+        dispatch_with_retry(
+            sorted(tasks_by_index),
+            make_payload,
+            scan_shard,
+            workers,
+            retry_policy,
+            on_result,
+        )
     return merge_shard_results(
-        partials, run_sweep=run_sweep, sweep_initial_sizes=sweep_initial_sizes
+        [partials_by_index[task.index] for task in tasks],
+        run_sweep=run_sweep,
+        sweep_initial_sizes=sweep_initial_sizes,
     )

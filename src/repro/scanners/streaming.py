@@ -60,10 +60,15 @@ from .quicreach import (
     HandshakeObservation,
     SweepResult,
 )
+from .checkpoint import CheckpointError, CheckpointKey, CheckpointStore
+from .faults import FaultPlan
 from .sharding import (
     DEFAULT_SHARD_SIZE,
+    RetryPolicy,
+    ShardDispatchError,
     ShardScanResult,
     ShardTask,
+    dispatch_with_retry,
     plan_shards,
     scan_shard,
     sweep_sample_stride,
@@ -410,9 +415,17 @@ def summarize_shard(
     )
 
 
-def _scan_and_summarize(payload: Tuple[ShardTask, ReductionSpec]) -> ShardSummary:
-    """Worker entry point: resolve, scan and reduce one shard."""
-    task, spec = payload
+def _scan_and_summarize(payload: Tuple[ShardTask, ReductionSpec, int, object]) -> ShardSummary:
+    """Worker entry point: resolve, scan and reduce one shard.
+
+    The payload carries the dispatch attempt number and the (optional)
+    :class:`~repro.scanners.faults.FaultPlan`; a scripted fault for this
+    ``(shard, attempt)`` fires before any scanning happens, so an injected
+    crash never leaves a half-observed shard behind.
+    """
+    task, spec, attempt, fault_plan = payload
+    if fault_plan is not None:
+        fault_plan.inject_worker_fault(task.index, attempt)
     deployments = tuple(task.resolve_deployments())
     scan = scan_shard(task, deployments=deployments)
     return summarize_shard(task, deployments, scan, spec)
@@ -972,6 +985,10 @@ def run_streaming_scan(
     analysis_initial_size: int = DEFAULT_ANALYSIS_INITIAL_SIZE,
     analysis_compression: Sequence[CertificateCompressionAlgorithm] = (),
     spec: Optional[ReductionSpec] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    retry_policy: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> ReducedScanResults:
     """Stream stages 1–4 over a generated population, reducing as shards finish.
 
@@ -983,12 +1000,35 @@ def run_streaming_scan(
     count comes from phase-1 skeletons (two-phase generation), so the
     population's certificate chains are generated once — by the scan pass —
     not twice.
+
+    Durability (see docs/ARCHITECTURE.md, "Durable campaigns"):
+
+    * ``checkpoint_dir`` persists every :class:`ShardSummary` to disk as it is
+      reduced — content-addressed, atomic, self-verifying
+      (:mod:`repro.scanners.checkpoint`).
+    * ``resume`` folds the directory's valid checkpoints in first and
+      dispatches only the missing shards; invalid files are quarantined and
+      their shards re-scanned, so a resumed report stays byte-identical to an
+      uninterrupted run.
+    * ``retry_policy`` re-dispatches crashed / timed-out shards on a fresh
+      pool; exhausted retries raise
+      :class:`~repro.scanners.sharding.ShardDispatchError` after writing an
+      ``incomplete.json`` manifest naming the missing shard indices.
+    * ``fault_plan`` arms the deterministic fault-injection harness
+      (:mod:`repro.scanners.faults`) — testing only.
     """
     if workers <= 0:
         raise ValueError("workers must be positive")
+    if resume and checkpoint_dir is None:
+        raise CheckpointError("resume requires a checkpoint directory")
     spec = spec or ReductionSpec()
     shard_specs = plan_shards(config.size, shard_size)
     multiprocess = workers > 1 and len(shard_specs) > 1
+
+    store: Optional[CheckpointStore] = None
+    if checkpoint_dir is not None:
+        store = CheckpointStore(checkpoint_dir)
+        store.bind_campaign(config, shard_size)
 
     selections: List[Optional[Tuple[int, int]]] = [None] * len(shard_specs)
     if run_sweep and sweep_sample_size is None:
@@ -1038,12 +1078,49 @@ def run_streaming_scan(
     reducer = CampaignReducer(
         spec=spec, run_sweep=run_sweep, sweep_initial_sizes=sweep_initial_sizes
     )
-    payloads = [(task, spec) for task in tasks]
-    if multiprocess:
-        with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-            for summary in pool.map(_scan_and_summarize, payloads):
-                reducer.add(summary)
-    else:
-        for payload in payloads:
-            reducer.add(_scan_and_summarize(payload))
+
+    # Resume: fold every valid persisted summary first (invalid files are
+    # quarantined by the store and their shards land back in the dispatch
+    # set).  The reducer re-checks scenario fingerprints on every fold, and
+    # finalize_streaming re-checks once more at the resume seam.
+    resumed_indices: frozenset = frozenset()
+    if resume and store is not None:
+        resumed = store.load_valid(
+            config, shard_size, [shard.index for shard in shard_specs]
+        )
+        for index in sorted(resumed):
+            reducer.add(resumed[index])
+        resumed_indices = frozenset(resumed)
+
+    tasks_by_index = {task.index: task for task in tasks}
+    to_run = sorted(set(tasks_by_index) - resumed_indices)
+
+    def make_payload(index: int, attempt: int):
+        return (tasks_by_index[index], spec, attempt, fault_plan)
+
+    def on_result(index: int, summary: ShardSummary) -> None:
+        if store is not None:
+            path = store.save(
+                CheckpointKey.for_campaign(config, shard_size, index), summary
+            )
+            if fault_plan is not None:
+                fault_plan.apply_checkpoint_faults(index, path)
+        reducer.add(summary)
+
+    try:
+        dispatch_with_retry(
+            to_run,
+            make_payload,
+            _scan_and_summarize,
+            workers if multiprocess else 1,
+            retry_policy,
+            on_result,
+        )
+    except ShardDispatchError as error:
+        if store is not None:
+            completed = sorted(set(tasks_by_index) - set(error.incomplete))
+            store.write_incomplete_manifest(completed, error.incomplete)
+        raise
+    if store is not None:
+        store.clear_incomplete_manifest()
     return reducer.reduced_scan()

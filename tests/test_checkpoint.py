@@ -1,0 +1,254 @@
+"""Checkpoint-store integrity: every defect is detected, quarantined, re-scanned.
+
+A checkpoint is an optimisation, never a source of truth: the store must
+refuse to trust a torn, corrupted, stale-format or foreign file — each is
+moved into ``quarantine/`` and its shard simply re-scanned, and the resumed
+report stays byte-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis.report import build_report
+from repro.core.ioutil import atomic_write_bytes, atomic_write_text
+from repro.scanners import MeasurementCampaign
+from repro.scanners.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointError,
+    CheckpointKey,
+    CheckpointStore,
+    decode_checkpoint,
+    encode_checkpoint,
+)
+from repro.scanners.faults import corrupt_file, truncate_file
+from repro.scenarios import BUILTIN_SCENARIOS
+from repro.webpki.population import PopulationConfig
+
+POPULATION_SIZE = 360
+SHARD_SIZE = 120
+CAMPAIGN_KWARGS = dict(stream=True, shard_size=SHARD_SIZE, spoofed_targets_per_provider=12)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return PopulationConfig(size=POPULATION_SIZE, seed=2022)
+
+
+@pytest.fixture(scope="module")
+def checkpointed_run(config, tmp_path_factory):
+    """One finished checkpointed campaign: (reference report text, directory)."""
+    directory = tmp_path_factory.mktemp("ckpt-reference")
+    results = MeasurementCampaign(
+        population_config=config, checkpoint_dir=str(directory), **CAMPAIGN_KWARGS
+    ).run()
+    return build_report(results).text, directory
+
+
+def _checkpoint_files(directory) -> list:
+    return sorted(
+        name for name in os.listdir(directory) if name.endswith(".ckpt")
+    )
+
+
+def _resume(config, directory):
+    results = MeasurementCampaign(
+        population_config=config,
+        checkpoint_dir=str(directory),
+        resume=True,
+        **CAMPAIGN_KWARGS,
+    ).run()
+    return build_report(results).text
+
+
+def _damaged_copy(checkpointed_run, tmp_path, damage) -> tuple:
+    """Copy the reference checkpoint dir and apply ``damage`` to one file."""
+    reference, source = checkpointed_run
+    directory = tmp_path / "ckpt"
+    shutil.copytree(source, directory)
+    victim = os.path.join(directory, _checkpoint_files(directory)[1])
+    damage(victim)
+    return reference, directory, os.path.basename(victim)
+
+
+class TestWireFormat:
+    def test_round_trip(self):
+        payload = {"shard": 7, "values": [1, 2, 3]}
+        assert decode_checkpoint(encode_checkpoint(payload)) == payload
+
+    def test_header_carries_version_and_digest(self):
+        data = encode_checkpoint("x")
+        header = data.split(b"\n", 1)[0].split(b" ")
+        assert header[0] == CHECKPOINT_FORMAT
+        assert len(header) == 3 and len(header[2]) == 64
+
+    @pytest.mark.parametrize(
+        "mangle",
+        [
+            lambda data: data[: len(data) // 2],            # truncated
+            lambda data: data.replace(b"/1", b"/0", 1),     # stale version
+            lambda data: b"",                               # empty file
+            lambda data: b"not a checkpoint at all",        # garbage
+        ],
+    )
+    def test_defective_bytes_raise(self, mangle):
+        data = encode_checkpoint({"shard": 1})
+        with pytest.raises(CheckpointError):
+            decode_checkpoint(mangle(data))
+
+    def test_flipped_payload_byte_raises(self):
+        data = bytearray(encode_checkpoint({"shard": 1}))
+        data[-3] ^= 0xFF
+        with pytest.raises(CheckpointError, match="digest mismatch"):
+            decode_checkpoint(bytes(data))
+
+
+class TestContentAddressing:
+    def test_filename_embeds_index_and_campaign_digest(self, config):
+        key = CheckpointKey.for_campaign(config, SHARD_SIZE, 3)
+        assert key.filename().startswith("shard-000003-")
+        assert key.filename().endswith(".ckpt")
+
+    def test_different_campaign_means_different_filename(self, config):
+        base = CheckpointKey.for_campaign(config, SHARD_SIZE, 0)
+        other_seed = CheckpointKey.for_campaign(
+            PopulationConfig(size=POPULATION_SIZE, seed=7), SHARD_SIZE, 0
+        )
+        other_shards = CheckpointKey.for_campaign(config, 60, 0)
+        scenario_config = BUILTIN_SCENARIOS["trimmed-chains"].population_config(
+            base=config
+        )
+        other_scenario = CheckpointKey.for_campaign(scenario_config, SHARD_SIZE, 0)
+        names = {
+            base.filename(),
+            other_seed.filename(),
+            other_shards.filename(),
+            other_scenario.filename(),
+        }
+        assert len(names) == 4
+
+
+class TestQuarantine:
+    def test_truncated_checkpoint_is_quarantined_and_rescanned(
+        self, config, checkpointed_run, tmp_path
+    ):
+        reference, directory, victim = _damaged_copy(
+            checkpointed_run, tmp_path, truncate_file
+        )
+        assert _resume(config, directory) == reference
+        assert victim in os.listdir(directory / "quarantine")
+        # The re-scanned shard was re-checkpointed with valid bytes.
+        assert victim in _checkpoint_files(directory)
+
+    def test_flipped_byte_is_quarantined_and_rescanned(
+        self, config, checkpointed_run, tmp_path
+    ):
+        reference, directory, victim = _damaged_copy(
+            checkpointed_run, tmp_path, corrupt_file
+        )
+        assert _resume(config, directory) == reference
+        assert victim in os.listdir(directory / "quarantine")
+
+    def test_stale_format_version_is_quarantined_and_rescanned(
+        self, config, checkpointed_run, tmp_path
+    ):
+        def stale(path):
+            with open(path, "rb") as handle:
+                data = handle.read()
+            atomic_write_bytes(path, data.replace(b"repro-ckpt/1", b"repro-ckpt/0", 1))
+
+        reference, directory, victim = _damaged_copy(checkpointed_run, tmp_path, stale)
+        assert _resume(config, directory) == reference
+        assert victim in os.listdir(directory / "quarantine")
+
+    def test_foreign_summary_under_expected_name_is_quarantined(
+        self, config, checkpointed_run, tmp_path
+    ):
+        """A file whose embedded summary belongs elsewhere is never trusted."""
+        reference, source = checkpointed_run
+        directory = tmp_path / "ckpt"
+        shutil.copytree(source, directory)
+        store = CheckpointStore(str(directory))
+        key = CheckpointKey.for_campaign(config, SHARD_SIZE, 1)
+        foreign = SimpleNamespace(index=1, scenario_fingerprint="0" * 64)
+        store.save(key, foreign)
+        assert store.load(key) is None
+        assert os.listdir(directory / "quarantine")
+        assert _resume(config, directory) == reference
+
+    def test_quarantine_never_overwrites_evidence(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        for _ in range(2):
+            path = tmp_path / "shard-000000-aaaa.ckpt"
+            path.write_bytes(b"garbage")
+            store.quarantine(str(path))
+        assert len(os.listdir(store.quarantine_directory)) == 2
+
+
+class TestCampaignBinding:
+    def test_mixed_campaign_directory_is_rejected(self, config, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.bind_campaign(config, SHARD_SIZE)
+        with pytest.raises(CheckpointError, match="different campaign"):
+            store.bind_campaign(
+                PopulationConfig(size=POPULATION_SIZE, seed=7), SHARD_SIZE
+            )
+        with pytest.raises(CheckpointError, match="shard_size"):
+            store.bind_campaign(config, 60)
+
+    def test_mixed_scenario_directory_is_rejected(self, config, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.bind_campaign(config, SHARD_SIZE)
+        scenario_config = BUILTIN_SCENARIOS["ecdsa-only"].population_config(base=config)
+        with pytest.raises(CheckpointError, match="scenario"):
+            store.bind_campaign(scenario_config, SHARD_SIZE)
+
+    def test_rebinding_the_same_campaign_is_fine(self, config, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.bind_campaign(config, SHARD_SIZE)
+        store.bind_campaign(config, SHARD_SIZE)
+
+    def test_unreadable_metadata_is_rejected(self, config, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        (tmp_path / "campaign.json").write_text("{torn", encoding="utf-8")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            store.bind_campaign(config, SHARD_SIZE)
+
+
+class TestManifests:
+    def test_incomplete_manifest_names_missing_shards(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        path = store.write_incomplete_manifest(completed=[0, 2], incomplete=[3, 1])
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        assert manifest == {"completed": [0, 2], "incomplete": [1, 3]}
+        store.clear_incomplete_manifest()
+        assert not os.path.exists(path)
+        store.clear_incomplete_manifest()  # idempotent
+
+
+class TestAtomicWrites:
+    def test_no_tmp_files_survive(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        atomic_write_text(str(target), "first\n")
+        atomic_write_text(str(target), "second\n")
+        assert target.read_text() == "second\n"
+        assert os.listdir(tmp_path) == ["artifact.txt"]
+
+    def test_failed_write_leaves_destination_untouched(self, tmp_path, monkeypatch):
+        target = tmp_path / "artifact.txt"
+        atomic_write_text(str(target), "intact\n")
+        monkeypatch.setattr(os, "replace", _boom)
+        with pytest.raises(RuntimeError):
+            atomic_write_text(str(target), "torn\n")
+        assert target.read_text() == "intact\n"
+        assert os.listdir(tmp_path) == ["artifact.txt"]
+
+
+def _boom(*_args):
+    raise RuntimeError("injected replace failure")

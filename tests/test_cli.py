@@ -150,3 +150,73 @@ class TestScenarioCommands:
     def test_compare_with_unknown_scenario_fails_readably(self, capsys):
         assert main(["compare", "--scenarios", "nope", "--size", "250"]) == 2
         assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestDurabilityFlags:
+    def test_resume_without_checkpoint_dir_fails_readably(self, capsys):
+        assert main(["campaign", "--size", "250", "--stream", "--resume"]) == 2
+        assert "--resume needs --checkpoint-dir" in capsys.readouterr().err
+
+    def test_checkpoint_dir_without_stream_fails_readably(self, tmp_path, capsys):
+        assert main(
+            ["campaign", "--size", "250", "--checkpoint-dir", str(tmp_path / "ckpt")]
+        ) == 2
+        assert "add --stream" in capsys.readouterr().err
+
+    def test_malformed_fault_plan_fails_readably(self, tmp_path, capsys):
+        bad = tmp_path / "plan.json"
+        bad.write_text('{"worker": [{"shard": 0, "kind": "explode"}]}', encoding="utf-8")
+        assert main(
+            ["campaign", "--size", "250", "--stream", "--fault-plan", str(bad)]
+        ) == 2
+        assert "unknown worker fault kind" in capsys.readouterr().err
+
+    def test_missing_fault_plan_file_fails_readably(self, tmp_path, capsys):
+        assert main(
+            ["campaign", "--size", "250", "--stream",
+             "--fault-plan", str(tmp_path / "absent.json")]
+        ) == 2
+        assert "cannot read fault plan" in capsys.readouterr().err
+
+    def test_bad_retry_knobs_fail_readably(self, capsys):
+        assert main(
+            ["campaign", "--size", "250", "--stream", "--max-shard-retries", "0"]
+        ) == 2
+        assert "max_attempts must be positive" in capsys.readouterr().err
+        assert main(
+            ["campaign", "--size", "250", "--stream", "--shard-timeout", "-1"]
+        ) == 2
+        assert "shard_timeout must be positive" in capsys.readouterr().err
+
+    def test_mismatched_resume_directory_fails_readably(self, tmp_path, capsys):
+        checkpoint_dir = str(tmp_path / "ckpt")
+        assert main(
+            ["campaign", "--size", "250", "--stream",
+             "--checkpoint-dir", checkpoint_dir,
+             "--output", str(tmp_path / "first.txt")]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["campaign", "--size", "300", "--stream", "--resume",
+             "--checkpoint-dir", checkpoint_dir]
+        ) == 2
+        error = capsys.readouterr().err
+        assert "different campaign" in error
+        assert "size" in error
+
+    def test_checkpoint_and_resume_round_trip_is_byte_identical(self, tmp_path, capsys):
+        plain = tmp_path / "plain.txt"
+        checkpointed = tmp_path / "checkpointed.txt"
+        resumed = tmp_path / "resumed.txt"
+        base = ["campaign", "--size", "250", "--stream", "--shard-size", "100"]
+        assert main([*base, "--output", str(plain)]) == 0
+        assert main(
+            [*base, "--checkpoint-dir", str(tmp_path / "ckpt"),
+             "--output", str(checkpointed)]
+        ) == 0
+        assert main(
+            [*base, "--checkpoint-dir", str(tmp_path / "ckpt"), "--resume",
+             "--output", str(resumed)]
+        ) == 0
+        assert checkpointed.read_bytes() == plain.read_bytes()
+        assert resumed.read_bytes() == plain.read_bytes()
