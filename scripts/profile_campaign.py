@@ -68,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
              "writes as a separate 'checkpoint' phase (no DIR: a temporary "
              "directory, discarded afterwards)",
     )
+    parser.add_argument(
+        "--scan-backend", choices=("object", "columnar"), default="object",
+        help="with --phases: shard-scan implementation to time (columnar "
+             "fuses scan+summarise, so its whole kernel is timed as 'scan' "
+             "and only the reducer fold as 'reduce')",
+    )
     return parser
 
 
@@ -93,12 +99,16 @@ def run_phases(args: argparse.Namespace) -> int:
     # Defaults match `repro campaign --stream` (spoof cap 60), so the phase
     # breakdown decomposes exactly the campaign the CLI runs.
     spec = ReductionSpec()
+    columnar = args.scan_backend == "columnar"
+    if columnar:
+        from repro.scanners.columnar import summarize_shard_columnar
     tasks = [
         ShardTask(
             index=shard.index,
             population_config=config,
             start=shard.start,
             stop=shard.stop,
+            scan_backend=args.scan_backend,
         )
         for shard in plan_shards(config.size, shard_size)
     ]
@@ -142,9 +152,15 @@ def run_phases(args: argparse.Namespace) -> int:
         t0 = time.perf_counter()
         deployments = tuple(task.resolve_deployments())
         t1 = time.perf_counter()
-        scan = scan_shard(task, deployments=deployments)
+        if columnar:
+            # The kernel fuses scan+summarise, so it is all 'scan'; only the
+            # reducer fold remains as 'reduce'.
+            summary = scan = summarize_shard_columnar(task, deployments, spec)
+        else:
+            scan = scan_shard(task, deployments=deployments)
         t2 = time.perf_counter()
-        summary = summarize_shard(task, deployments, scan, spec)
+        if not columnar:
+            summary = summarize_shard(task, deployments, scan, spec)
         reducer.add(summary)
         t3 = time.perf_counter()
         if store is not None:
@@ -184,7 +200,8 @@ def run_phases(args: argparse.Namespace) -> int:
     }
 
     print(f"campaign phases ({config.size} domains, seed {config.seed}, "
-          f"shard size {shard_size}, streamed, no sweep):")
+          f"shard size {shard_size}, streamed, no sweep, "
+          f"{args.scan_backend} backend):")
     for name in ("generation", "scan", "reduce", "checkpoint", "report", "total"):
         if name in phases:
             print(f"  {name:<11s} {phases[name]:8.2f} s")
@@ -212,6 +229,7 @@ def run_phases(args: argparse.Namespace) -> int:
                 "stream": True,
                 "sweep": False,
                 "checkpointing": store is not None,
+                "scan_backend": args.scan_backend,
             },
             "phases": phases,
             "discovery_pass": discovery_block,

@@ -1,0 +1,850 @@
+"""Columnar scan backend: whole-shard arithmetic instead of per-domain objects.
+
+``scan_shard`` builds a resolver, an origin map, a UDP fabric and thousands of
+frozen QUIC/TLS wire objects per shard, only to reduce them to the counters and
+compact rows of a :class:`~repro.scanners.streaming.ShardSummary` moments
+later.  This module fuses the two steps: it lowers a shard's deployments into
+flat columns (chain payload lengths, DEFLATE lengths, CertificateVerify sizes,
+behaviour profiles, Initial sizes) and computes the wire-size arithmetic,
+handshake classification and amplification-ratio math as batch passes over
+those columns, emitting the ``ShardSummary`` directly.
+
+The backend contract (see docs/ARCHITECTURE.md, "Columnar scan core"):
+
+* **Byte-identical output.**  ``summarize_shard_columnar(task, deployments,
+  spec)`` returns exactly the summary ``summarize_shard(task, deployments,
+  scan_shard(task), spec)`` returns — same counters, same float-summation
+  order, same flight-plan cache counters (replayed against a real
+  :class:`~repro.quic.server.FlightPlanCache` with sentinel entries).  The
+  object path stays the differential reference
+  (``tests/test_columnar_scan.py``).
+* **Constants come from the real objects.**  TLS message sizes are read off
+  freshly built :mod:`~repro.tls.handshake_messages` instances at import time,
+  so the kernel cannot drift from the wire model silently; only the *per
+  domain* arithmetic is mirrored by hand (and pinned per formula by
+  ``tests/test_properties.py``).
+* **One DEFLATE per chain.**  The object path compresses a chain once per
+  negotiated flight plus once per supported algorithm in the compression scan
+  plus once in the synthetic reduction; the kernel runs zlib once per distinct
+  chain and scales the calibrated per-algorithm factors off that measurement
+  (the same split :func:`~repro.tls.cert_compression.compressed_size_for_deflate`
+  exposes).
+
+Backend selection is threaded through ``ShardTask.scan_backend``; use
+``--scan-backend {object,columnar}`` on the CLI or the ``REPRO_SCAN_BACKEND``
+environment knob (streaming runs only — the eager pipeline keeps its
+full-observation internals unless a caller opts in explicitly).
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.figures import figure02b, figure07, figure08, figure12, figure13, table02
+from ..netsim.dns import DnsRcode
+from ..netsim.http import target_domain
+from ..quic.anti_amplification import ANTI_AMPLIFICATION_FACTOR
+from ..quic.frames import AckFrame
+from ..quic.handshake import HandshakeClass
+from ..quic.packet import AEAD_TAG_SIZE, MIN_CLIENT_INITIAL_SIZE
+from ..quic.profiles import CoalescenceMode, RetryPolicy, ServerBehaviorProfile
+from ..quic.server import FlightPlanCache
+from ..quic.varint import varint_size
+from ..tls.cert_compression import (
+    CertificateCompressionAlgorithm,
+    chain_payload,
+    compressed_size_for_deflate,
+    deflate_size,
+)
+from ..tls.handshake_messages import (
+    CertificateVerify,
+    EncryptedExtensions,
+    Finished,
+    ServerHello,
+)
+from ..webpki.deployment import DomainDeployment, ServiceCategory
+from ..x509.chain import CertificateChain, chain_fingerprint
+from ..x509.field_sizes import san_byte_share
+from ..x509.keys import KeyAlgorithm
+from .compression_scanner import ALL_ALGORITHMS
+from .https_scanner import ScanFunnel
+from .quicreach import HandshakeObservation
+from .sharding import ShardTask
+from .streaming import ReductionSpec, ShardSummary, take_per_provider
+
+# ---------------------------------------------------------------------------
+# Backend selection
+# ---------------------------------------------------------------------------
+
+#: The two shard-scan implementations.  ``object`` is the reference pipeline
+#: (stages 1–4 over real resolver/origin/fabric objects); ``columnar`` is the
+#: fused arithmetic kernel of this module.
+SCAN_BACKENDS: Tuple[str, ...] = ("object", "columnar")
+
+#: Environment knob consulted by streaming runs when no explicit backend is
+#: passed.  An empty value counts as unset.
+SCAN_BACKEND_ENV = "REPRO_SCAN_BACKEND"
+
+
+def resolve_scan_backend(explicit: Optional[str] = None) -> str:
+    """Resolve the scan backend: explicit argument > environment > ``object``."""
+    backend = explicit
+    source = "scan backend"
+    if backend is None:
+        backend = os.environ.get(SCAN_BACKEND_ENV) or None
+        source = SCAN_BACKEND_ENV
+    if backend is None:
+        return "object"
+    if backend not in SCAN_BACKENDS:
+        choices = ", ".join(SCAN_BACKENDS)
+        raise ValueError(f"unknown {source} {backend!r} (choose from: {choices})")
+    return backend
+
+
+# ---------------------------------------------------------------------------
+# Wire-model constants, read off the real objects at import time
+# ---------------------------------------------------------------------------
+
+_SERVER_HELLO_SIZE = ServerHello().size
+_ENCRYPTED_EXTENSIONS_SIZE = EncryptedExtensions().size
+_FINISHED_SIZE = Finished().size
+#: CertificateVerify size per server key algorithm (the signature length
+#: follows the leaf's algorithm).
+_CERT_VERIFY_SIZE: Dict[KeyAlgorithm, int] = {
+    algorithm: CertificateVerify(algorithm).size for algorithm in KeyAlgorithm
+}
+_ACK_FRAME_SIZE = AckFrame(0).size
+#: CRYPTO frame wrapping the ServerHello at stream offset 0.
+_SH_FRAME_SIZE = (
+    1 + varint_size(0) + varint_size(_SERVER_HELLO_SIZE) + _SERVER_HELLO_SIZE
+)
+
+#: Packet size = base + packet-number field + payload + length-field varint;
+#: the base folds the long header (23 bytes with 8-byte connection IDs) plus
+#: the AEAD tag, and for Initials the empty retry-token length varint.
+_INITIAL_BASE = 23 + 1 + AEAD_TAG_SIZE
+_HANDSHAKE_BASE = 23 + AEAD_TAG_SIZE
+#: Retry packets carry no length/packet-number fields: header + token + tag.
+_RETRY_BASE = 23 + AEAD_TAG_SIZE
+_RETRY_TOKEN_PREFIX_LEN = len(b"retry-token:")
+
+
+def _pn_len(packet_number: int) -> int:
+    if packet_number < 1 << 8:
+        return 1
+    if packet_number < 1 << 16:
+        return 2
+    if packet_number < 1 << 24:
+        return 3
+    return 4
+
+
+def _packet_size(base: int, payload: int, pn_len: int) -> int:
+    return base + pn_len + payload + varint_size(payload + pn_len + AEAD_TAG_SIZE)
+
+
+def _padded_packet_size(
+    base: int, payload: int, pn_len: int, target: int
+) -> Tuple[int, int]:
+    """Mirror ``QuicPacket.with_padding_to``: (padded size, padding bytes added).
+
+    Growing the payload can grow the length-field varint, overshooting the
+    target; the packet model then trims the padding run by the overshoot when
+    possible.
+    """
+    size = _packet_size(base, payload, pn_len)
+    deficit = target - size
+    if deficit <= 0:
+        return size, 0
+    candidate = _packet_size(base, payload + deficit, pn_len)
+    overshoot = candidate - target
+    pad = deficit
+    if overshoot > 0 and deficit - overshoot > 0:
+        pad = deficit - overshoot
+    return _packet_size(base, payload + pad, pn_len), pad
+
+
+# ---------------------------------------------------------------------------
+# First-flight arithmetic (mirrors QuicServer._build_packets/_build_datagrams/
+# _pad_datagram/_apply_amplification_limit)
+# ---------------------------------------------------------------------------
+
+#: (profile, certificate message size, CertificateVerify size) ->
+#: (datagram rows ``(size, ack_eliciting, padding_bytes)``, total bytes).
+#: Process-wide: flights depend only on these three inputs, and the handful of
+#: (profile, chain-size-class) combinations repeats across every shard.
+_FLIGHT_ROWS: Dict[tuple, Tuple[Tuple[Tuple[int, bool, int], ...], int]] = {}
+
+#: (profile, certificate size, verify size, Initial size) ->
+#: (first-RTT bytes, deferred bytes) for an unvalidated client.
+_FLIGHT_SPLITS: Dict[tuple, Tuple[int, int]] = {}
+
+
+def _flight_rows(
+    profile: ServerBehaviorProfile, certificate_size: int, verify_size: int
+) -> Tuple[Tuple[Tuple[int, bool, int], ...], int]:
+    key = (profile, certificate_size, verify_size)
+    cached = _FLIGHT_ROWS.get(key)
+    if cached is not None:
+        return cached
+
+    # Initial-level packets: (payload, packet number, ack-eliciting).
+    if profile.coalescence is CoalescenceMode.SPLIT_INITIAL_ACK:
+        initials = [(_ACK_FRAME_SIZE, 0, False), (_SH_FRAME_SIZE, 1, True)]
+    else:
+        initials = [(_ACK_FRAME_SIZE + _SH_FRAME_SIZE, 0, True)]
+
+    # Handshake-level CRYPTO stream, chunked like _build_packets.
+    stream_len = (
+        _ENCRYPTED_EXTENSIONS_SIZE + certificate_size + verify_size + _FINISHED_SIZE
+    )
+    per_packet_overhead = 40 + AEAD_TAG_SIZE
+    full_chunk = profile.mtu - per_packet_overhead
+    chunks: List[int] = []
+    if profile.coalescence is CoalescenceMode.FULL:
+        last_payload, last_pn, _ = initials[-1]
+        last_initial_size = _packet_size(_INITIAL_BASE, last_payload, _pn_len(last_pn))
+        space_next_to_initial = profile.mtu - last_initial_size - per_packet_overhead
+        if space_next_to_initial > 64:
+            first = min(space_next_to_initial, stream_len)
+            if first:
+                chunks.append(first)
+            stream_len -= first
+    while stream_len > 0:
+        take = min(full_chunk, stream_len)
+        chunks.append(take)
+        stream_len -= take
+    if not chunks:
+        chunks.append(0)
+
+    # Packets: (is_initial, size, ack-eliciting, payload, pn_len).
+    packets: List[Tuple[bool, int, bool, int, int]] = []
+    for payload, packet_number, eliciting in initials:
+        pn_len = _pn_len(packet_number)
+        packets.append(
+            (True, _packet_size(_INITIAL_BASE, payload, pn_len), eliciting, payload, pn_len)
+        )
+    offset = 0
+    for index, chunk in enumerate(chunks):
+        frame = 1 + varint_size(offset) + varint_size(chunk) + chunk
+        pn_len = _pn_len(index)
+        packets.append(
+            (False, _packet_size(_HANDSHAKE_BASE, frame, pn_len), True, frame, pn_len)
+        )
+        offset += chunk
+
+    # Datagrams: greedy MTU coalescing (FULL) or one packet per datagram.
+    if profile.coalescence is CoalescenceMode.FULL:
+        datagrams: List[List[Tuple[bool, int, bool, int, int]]] = []
+        current: List[Tuple[bool, int, bool, int, int]] = []
+        current_size = 0
+        for packet in packets:
+            if current and current_size + packet[1] > profile.mtu:
+                datagrams.append(current)
+                current, current_size = [], 0
+            current.append(packet)
+            current_size += packet[1]
+        if current:
+            datagrams.append(current)
+    else:
+        datagrams = [[packet] for packet in packets]
+
+    # Datagram-level Initial padding (RFC 9000 §14.1 / pad_all profiles).
+    rows: List[Tuple[int, bool, int]] = []
+    total = 0
+    for datagram in datagrams:
+        size = sum(packet[1] for packet in datagram)
+        eliciting = any(packet[2] for packet in datagram)
+        contains_initial = any(packet[0] for packet in datagram)
+        padding = 0
+        if (
+            contains_initial
+            and size < MIN_CLIENT_INITIAL_SIZE
+            and (eliciting or profile.pad_all_initial_datagrams)
+        ):
+            deficit = MIN_CLIENT_INITIAL_SIZE - size
+            is_initial, last_size, _, payload, pn_len = datagram[-1]
+            base = _INITIAL_BASE if is_initial else _HANDSHAKE_BASE
+            new_size, padding = _padded_packet_size(
+                base, payload, pn_len, last_size + deficit
+            )
+            size += new_size - last_size
+        rows.append((size, eliciting, padding))
+        total += size
+
+    result = (tuple(rows), total)
+    _FLIGHT_ROWS[key] = result
+    return result
+
+
+def _first_rtt_split(
+    profile: ServerBehaviorProfile,
+    certificate_size: int,
+    verify_size: int,
+    initial_size: int,
+) -> Tuple[int, int]:
+    """First-RTT/deferred byte split under the profile's own accounting."""
+    key = (profile, certificate_size, verify_size, initial_size)
+    cached = _FLIGHT_SPLITS.get(key)
+    if cached is not None:
+        return cached
+    rows, _ = _flight_rows(profile, certificate_size, verify_size)
+    limit = ANTI_AMPLIFICATION_FACTOR * initial_size
+    ignore = not profile.enforce_amplification_limit
+    exclude = not profile.count_padding_against_limit
+    sent = unaccounted = first = deferred = 0
+    blocked = False
+    for size, eliciting, padding in rows:
+        if blocked:
+            deferred += size
+            continue
+        padding_only = padding > 0 and not eliciting
+        allowed = ignore or sent - unaccounted + size <= limit
+        if allowed or (exclude and padding_only):
+            sent += size
+            if exclude and padding_only:
+                unaccounted += size
+            first += size
+        else:
+            blocked = True
+            deferred += size
+    result = (first, deferred)
+    _FLIGHT_SPLITS[key] = result
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Per-chain columns
+# ---------------------------------------------------------------------------
+
+class _ChainColumns:
+    """The numbers the kernel needs from one certificate chain.
+
+    ``deflate_len`` is computed lazily (only chains that actually negotiate or
+    measure compression pay the zlib pass) and exactly once per chain.
+    """
+
+    __slots__ = ("chain", "payload_len", "fingerprint", "verify_size", "_deflate_len")
+
+    def __init__(self, chain: CertificateChain) -> None:
+        self.chain = chain
+        der_total = 0
+        count = 0
+        for certificate in chain.certificates:
+            der_total += len(certificate.der)
+            count += 1
+        # chain_payload: 3-byte list prefix + per certificate a 3-byte length,
+        # the DER bytes and a 2-byte empty extensions field.
+        self.payload_len = 3 + der_total + 5 * count
+        self.fingerprint = chain_fingerprint(chain)
+        self.verify_size = _CERT_VERIFY_SIZE[chain.leaf.key_algorithm]
+        self._deflate_len: Optional[int] = None
+
+    @property
+    def deflate_len(self) -> int:
+        if self._deflate_len is None:
+            self._deflate_len = deflate_size(
+                chain_payload(certificate.der for certificate in self.chain.certificates)
+            )
+        return self._deflate_len
+
+
+def _certificate_message_size(
+    columns: _ChainColumns,
+    profile: ServerBehaviorProfile,
+    offer: Tuple[CertificateCompressionAlgorithm, ...],
+) -> int:
+    """Wire size of the (possibly compressed) Certificate message.
+
+    Uncompressed: 4-byte handshake header + 1-byte request context + payload.
+    Compressed (RFC 8879): header + 2-byte algorithm + 3-byte uncompressed
+    length + compressed payload.
+    """
+    negotiated = None
+    if offer:
+        for algorithm in offer:
+            if algorithm in profile.compression_algorithms:
+                negotiated = algorithm
+                break
+    if negotiated is None:
+        return 5 + columns.payload_len
+    return 9 + compressed_size_for_deflate(negotiated, columns.deflate_len)
+
+
+def _flight_cache_entry():
+    """Sentinel stored in the replayed flight-plan cache (any non-None value)."""
+    return True
+
+
+def _measure(
+    domain: str,
+    profile: ServerBehaviorProfile,
+    columns: _ChainColumns,
+    offer: Tuple[CertificateCompressionAlgorithm, ...],
+    initial_size: int,
+    cache: FlightPlanCache,
+) -> Tuple[HandshakeClass, int, int, int, int, int]:
+    """One handshake's observables: (class, first-RTT, total, TLS, overhead, RTTs).
+
+    Replays the object path's flight-plan cache key sequence against ``cache``
+    so the per-shard cache counters stay byte-identical.
+    """
+    certificate_size = _certificate_message_size(columns, profile, offer)
+    tls_total = (
+        _SERVER_HELLO_SIZE
+        + _ENCRYPTED_EXTENSIONS_SIZE
+        + certificate_size
+        + columns.verify_size
+        + _FINISHED_SIZE
+    )
+    key = (domain, profile, columns.fingerprint, offer)
+    cache.get_or_build(key, _flight_cache_entry)
+    if profile.retry_policy is RetryPolicy.ALWAYS:
+        # The client echoes the token and the server responds again (second
+        # cache visit); a validated address releases the whole flight at once.
+        cache.get_or_build(key, _flight_cache_entry)
+        token_len = _RETRY_TOKEN_PREFIX_LEN + len(domain.encode("ascii")[:32])
+        retry_size = _RETRY_BASE + token_len
+        _, flight_total = _flight_rows(profile, certificate_size, columns.verify_size)
+        first = total = retry_size + flight_total
+        return (
+            HandshakeClass.RETRY,
+            first,
+            total,
+            tls_total,
+            max(total - tls_total, 0),
+            2,
+        )
+    first, deferred = _first_rtt_split(
+        profile, certificate_size, columns.verify_size, initial_size
+    )
+    total = first + deferred
+    if deferred:
+        handshake_class, round_trips = HandshakeClass.MULTI_RTT, 2
+    elif first > ANTI_AMPLIFICATION_FACTOR * initial_size:
+        handshake_class, round_trips = HandshakeClass.AMPLIFICATION, 1
+    else:
+        handshake_class, round_trips = HandshakeClass.ONE_RTT, 1
+    return (
+        handshake_class,
+        first,
+        total,
+        tls_total,
+        max(total - tls_total, 0),
+        round_trips,
+    )
+
+
+def _accepts_initial(deployment: DomainDeployment, initial_size: int) -> bool:
+    """Mirror QuicServiceHost.accepts_initial (path MTU 1500, UDP/IP 28)."""
+    return initial_size <= 1500 - 28 - deployment.encapsulation_overhead
+
+
+# ---------------------------------------------------------------------------
+# The fused shard scan
+# ---------------------------------------------------------------------------
+
+def summarize_shard_columnar(
+    task: ShardTask,
+    deployments: Sequence[DomainDeployment],
+    spec: ReductionSpec,
+) -> ShardSummary:
+    """Scan and reduce one shard in a single pass, no intermediate objects.
+
+    Byte-identical to ``summarize_shard(task, deployments,
+    scan_shard(task, deployments=deployments), spec)``; the differential
+    suite pins the equality per figure artefact.
+    """
+    cache = FlightPlanCache()
+    quic_deployments = [d for d in deployments if d.category is ServiceCategory.QUIC]
+    https_only = [d for d in deployments if d.category is ServiceCategory.HTTPS_ONLY]
+
+    # Stage 1 — the DNS/origin fabric as two dicts (build_resolver_for /
+    # build_origins_for + HttpsScanner's lowercasing, last-wins like the real
+    # dict construction order).
+    dns_zone: Dict[str, Tuple[DnsRcode, bool]] = {}
+    for deployment in deployments:
+        if deployment.dns_rcode is not DnsRcode.NOERROR:
+            dns_zone[deployment.domain.lower()] = (deployment.dns_rcode, False)
+        elif deployment.address is None:
+            dns_zone[deployment.domain.lower()] = (DnsRcode.NOERROR, False)
+        else:
+            dns_zone[deployment.domain.lower()] = (DnsRcode.NOERROR, True)
+            if deployment.redirect_to:
+                dns_zone[deployment.redirect_to.lower()] = (DnsRcode.NOERROR, True)
+
+    # lower-cased name -> (origin domain, https chain, explicit redirect hop).
+    origins: Dict[str, Tuple[str, Optional[CertificateChain], Optional[str]]] = {}
+    for deployment in deployments:
+        if not deployment.resolves:
+            continue
+        chain = deployment.https_chain
+        if deployment.redirect_to and chain is not None:
+            origins[deployment.redirect_to.lower()] = (deployment.redirect_to, chain, None)
+            origins[deployment.domain.lower()] = (
+                deployment.domain,
+                chain,
+                target_domain(f"https://{deployment.redirect_to}/"),
+            )
+        else:
+            origins[deployment.domain.lower()] = (deployment.domain, chain, None)
+
+    # The funnel walk of HttpsScanner.scan/_scan_one.
+    funnel = ScanFunnel(names_total=len(deployments))
+    https_fingerprints: set = set()
+    chains_by_requested: Dict[str, CertificateChain] = {}
+    for deployment in deployments:
+        requested = deployment.domain.lower()
+        rcode, has_address = dns_zone.get(requested, (DnsRcode.NXDOMAIN, False))
+        if rcode is DnsRcode.NOERROR:
+            funnel.dns_noerror += 1
+        elif rcode is DnsRcode.SERVFAIL:
+            funnel.dns_servfail += 1
+        elif rcode is DnsRcode.NXDOMAIN:
+            funnel.dns_nxdomain += 1
+        elif rcode is DnsRcode.TIMEOUT:
+            funnel.dns_timeout += 1
+        elif rcode is DnsRcode.REFUSED:
+            funnel.dns_refused += 1
+        if not has_address:
+            continue
+        funnel.with_a_record += 1
+        collected = False
+        visited: set = set()
+        current = requested
+        via_redirect = False
+        for _ in range(6):  # max_redirects (5) + 1
+            if current in visited:
+                break
+            visited.add(current)
+            origin = origins.get(current)
+            if origin is None:
+                break
+            origin_domain, chain, redirect_next = origin
+            if chain is not None:
+                collected = True
+                https_fingerprints.add(chain_fingerprint(chain))
+                if requested not in chains_by_requested or not via_redirect:
+                    chains_by_requested[requested] = chain
+            next_target = None
+            if chain is not None and redirect_next:
+                # HTTPS 301 with an explicit Location (no same-host check in
+                # the scanner's HTTPS branch; the shared exit below catches it).
+                next_target = redirect_next
+            elif chain is not None:
+                # Port-80 default of HTTPS sites: 301 to https://<origin>/.
+                candidate = origin_domain.lower()
+                if candidate != current:
+                    next_target = candidate
+            if not next_target or next_target == current:
+                break
+            current = next_target
+            via_redirect = True
+        if collected:
+            funnel.names_with_certificates += 1
+        origin = origins.get(requested)
+        if origin is not None:
+            funnel.port_80_open += 1
+            if origin[1] is not None:
+                funnel.port_443_open += 1
+    funnel_counts = funnel.as_dict()
+    funnel_counts.pop("unique_certificate_chains")
+    chain_digests = frozenset(
+        bytes.fromhex(fingerprint) for fingerprint in https_fingerprints
+    )
+
+    # Stage 2 fabric — hosts by lower-cased domain (build_network_for).
+    targets = [(d.domain, d.rank, d.provider) for d in quic_deployments]
+    hosts: Dict[str, DomainDeployment] = {}
+    for deployment in deployments:
+        if deployment.supports_quic and deployment.address is not None:
+            hosts[deployment.domain.lower()] = deployment
+
+    columns_by_chain: Dict[int, _ChainColumns] = {}
+
+    def columns_for(chain: CertificateChain) -> _ChainColumns:
+        columns = columns_by_chain.get(id(chain))
+        if columns is None:
+            columns = _ChainColumns(chain)
+            columns_by_chain[id(chain)] = columns
+        return columns
+
+    # Stage 2 — handshake classification, folded straight into the summary
+    # series (no HandshakeObservation objects for the analysis pass).
+    analysis_offer = tuple(task.analysis_compression)
+    analysis_size = task.analysis_initial_size
+    analysis_limit = ANTI_AMPLIFICATION_FACTOR * analysis_size
+    reachable = 0
+    class_counts: Dict[HandshakeClass, int] = {}
+    amp_factor_counts: Dict[float, int] = {}
+    fig13_ranks = array("q")
+    fig13_classes = bytearray()
+    fig5_tls = array("q")
+    fig5_total = array("q")
+    fig5_limit = array("q")
+    fig5_exceeds = 0
+    fig5_overhead_max = 0
+    for domain, rank, _provider in targets:
+        host = hosts.get(domain.lower())
+        if host is None or not _accepts_initial(host, analysis_size):
+            continue
+        handshake_class, first, total, tls_total, overhead, _round_trips = _measure(
+            domain,
+            host.server_behavior,
+            columns_for(host.quic_chain),
+            analysis_offer,
+            analysis_size,
+            cache,
+        )
+        reachable += 1
+        class_counts[handshake_class] = class_counts.get(handshake_class, 0) + 1
+        fig13_ranks.append(rank)
+        fig13_classes.append(figure13.CLASS_CODES[handshake_class])
+        if first > analysis_limit:
+            factor = first / analysis_size
+            amp_factor_counts[factor] = amp_factor_counts.get(factor, 0) + 1
+        if handshake_class is HandshakeClass.MULTI_RTT:
+            fig5_tls.append(tls_total)
+            fig5_total.append(total)
+            fig5_limit.append(analysis_limit)
+            if tls_total > analysis_limit:
+                fig5_exceeds += 1
+            if overhead > fig5_overhead_max:
+                fig5_overhead_max = overhead
+
+    # Stage 2b — the sampled Initial-size sweep (kept as real observations;
+    # the sample is small and the reducer re-interleaves them size-major).
+    sweep_targets = task.sweep_targets
+    if task.run_sweep and task.sweep_local_selection is not None:
+        offset, stride = task.sweep_local_selection
+        sweep_targets = tuple(
+            target
+            for position, target in enumerate(targets)
+            if (offset + position) % stride == 0
+        )
+    sweep_observations: Tuple[HandshakeObservation, ...] = ()
+    if task.run_sweep and sweep_targets:
+        collected_sweep: List[HandshakeObservation] = []
+        for initial_size in task.sweep_initial_sizes:
+            for domain, rank, provider in sweep_targets:
+                host = hosts.get(domain.lower())
+                if host is None or not _accepts_initial(host, initial_size):
+                    collected_sweep.append(
+                        HandshakeObservation(
+                            domain=domain, rank=rank, provider=provider,
+                            initial_size=initial_size, reachable=False,
+                        )
+                    )
+                    continue
+                handshake_class, first, total, tls_total, overhead, round_trips = _measure(
+                    domain,
+                    host.server_behavior,
+                    columns_for(host.quic_chain),
+                    (),  # the sweep scans without an RFC 8879 offer
+                    initial_size,
+                    cache,
+                )
+                collected_sweep.append(
+                    HandshakeObservation(
+                        domain=domain,
+                        rank=rank,
+                        provider=provider,
+                        initial_size=initial_size,
+                        reachable=True,
+                        handshake_class=handshake_class,
+                        first_rtt_bytes=first,
+                        total_bytes=total,
+                        tls_payload_bytes=tls_total,
+                        quic_overhead_bytes=overhead,
+                        round_trips=round_trips,
+                        chain_size=host.quic_chain.total_size,
+                    )
+                )
+        sweep_observations = tuple(collected_sweep)
+
+    # Stage 3 — certificates over QUIC vs HTTPS.
+    quic_certificate_count = comparison_total = comparison_identical = 0
+    for domain, _rank, _provider in targets:
+        host = hosts.get(domain.lower())
+        if host is None:
+            continue
+        quic_certificate_count += 1
+        https_chain = chains_by_requested.get(domain.lower())
+        if https_chain is None:
+            continue
+        comparison_total += 1
+        if chain_fingerprint(https_chain) == columns_for(host.quic_chain).fingerprint:
+            comparison_identical += 1
+
+    # Stage 4 — compression support and wild rates.
+    supported_by_profile: Dict[ServerBehaviorProfile, Tuple] = {}
+    wild_count = wild_all_three = 0
+    wild_support_counts: Dict[CertificateCompressionAlgorithm, int] = {
+        algorithm: 0 for algorithm in ALL_ALGORITHMS
+    }
+    wild_rates: Dict[CertificateCompressionAlgorithm, array] = {
+        algorithm: array("d") for algorithm in ALL_ALGORITHMS
+    }
+    for domain, _rank, _provider in targets:
+        host = hosts.get(domain.lower())
+        if host is None:
+            continue
+        profile = host.server_behavior
+        supported = supported_by_profile.get(profile)
+        if supported is None:
+            supported = tuple(
+                algorithm
+                for algorithm in ALL_ALGORITHMS
+                if algorithm in profile.compression_algorithms
+            )
+            supported_by_profile[profile] = supported
+        wild_count += 1
+        if len(supported) == 3:
+            wild_all_three += 1
+        if supported:
+            columns = columns_for(host.quic_chain)
+            uncompressed = columns.payload_len
+            deflate_len = columns.deflate_len
+            for algorithm in ALL_ALGORITHMS:
+                if algorithm in supported:
+                    wild_support_counts[algorithm] += 1
+                    compressed = compressed_size_for_deflate(algorithm, deflate_len)
+                    wild_rates[algorithm].append(1.0 - compressed / uncompressed)
+
+    # Ground-truth (population) reductions — identical batch helpers to
+    # summarize_shard, so the two cannot drift apart.
+    field_size_counts: Dict[str, Dict[int, int]] = {
+        name: {} for name in figure02b.FIELD_NAMES
+    }
+    certificate_count = figure02b.accumulate_field_sizes(
+        (
+            certificate
+            for deployment in deployments
+            if deployment.delivered_chain is not None
+            for certificate in deployment.delivered_chain.certificates
+        ),
+        field_size_counts,
+    )
+
+    quic_chain_size_counts: Dict[int, int] = {}
+    for deployment in quic_deployments:
+        chain = deployment.delivered_chain
+        if chain is not None:
+            size = chain.total_size
+            quic_chain_size_counts[size] = quic_chain_size_counts.get(size, 0) + 1
+    https_chain_size_counts: Dict[int, int] = {}
+    for deployment in https_only:
+        chain = deployment.https_chain
+        if chain is not None:
+            size = chain.total_size
+            https_chain_size_counts[size] = https_chain_size_counts.get(size, 0) + 1
+
+    parent_chain_groups: Dict[str, Dict[Tuple[str, ...], figure07.ParentChainStats]] = {
+        "QUIC": {},
+        "HTTPS-only": {},
+    }
+    parent_chain_totals = {
+        "QUIC": figure07.accumulate_groups(
+            quic_deployments, parent_chain_groups["QUIC"], task.start
+        ),
+        "HTTPS-only": figure07.accumulate_groups(
+            https_only, parent_chain_groups["HTTPS-only"], task.start
+        ),
+    }
+
+    field_sums, field_counts = figure08.empty_field_sums()
+    figure08.accumulate_field_sums(quic_deployments, field_sums, field_counts)
+
+    key_alg_counters: Dict[Tuple[str, str, object], int] = {}
+    key_alg_totals: Dict[Tuple[str, str], int] = {}
+    table02.accumulate_key_algorithms("QUIC", quic_deployments, key_alg_counters, key_alg_totals)
+    table02.accumulate_key_algorithms("HTTPS-only", https_only, key_alg_counters, key_alg_totals)
+
+    # Synthetic compression over the delivered chains, arithmetically: the
+    # ratio and both limit checks only need the payload and DEFLATE lengths.
+    synth_rates = array("d")
+    synth_below_uncompressed = synth_below_compressed = synth_count = 0
+    for deployment in quic_deployments:
+        chain = deployment.delivered_chain
+        if chain is None:
+            continue
+        columns = columns_for(chain)
+        uncompressed = columns.payload_len
+        compressed = compressed_size_for_deflate(
+            spec.compression_algorithm, columns.deflate_len
+        )
+        synth_rates.append(
+            0.0 if uncompressed == 0 else 1.0 - compressed / uncompressed
+        )
+        synth_count += 1
+        if uncompressed <= spec.limit_bytes:
+            synth_below_uncompressed += 1
+        if compressed <= spec.limit_bytes:
+            synth_below_compressed += 1
+
+    fig14_leaf_sizes = array("q")
+    fig14_san_shares = array("d")
+    for deployment in quic_deployments:
+        chain = deployment.delivered_chain
+        if chain is None:
+            continue
+        leaf = chain.leaf
+        fig14_leaf_sizes.append(leaf.size)
+        fig14_san_shares.append(san_byte_share(leaf))
+
+    spoof_candidates = take_per_provider(
+        quic_deployments, spec.spoof_limit_per_provider, spec.spoof_providers
+    )
+
+    return ShardSummary(
+        index=task.index,
+        scenario_fingerprint=task.scenario_fingerprint(),
+        deployment_count=len(deployments),
+        quic_count=len(quic_deployments),
+        https_only_count=len(https_only),
+        funnel_counts=funnel_counts,
+        chain_digests=chain_digests,
+        handshake_total=len(targets),
+        reachable_count=reachable,
+        class_counts=class_counts,
+        amp_factor_counts=amp_factor_counts,
+        fig13_ranks=fig13_ranks,
+        fig13_classes=bytes(fig13_classes),
+        fig5_tls=fig5_tls,
+        fig5_total=fig5_total,
+        fig5_limit=fig5_limit,
+        fig5_exceeds=fig5_exceeds,
+        fig5_overhead_max=fig5_overhead_max,
+        sweep_observations=sweep_observations,
+        quic_certificate_count=quic_certificate_count,
+        comparison_total=comparison_total,
+        comparison_identical=comparison_identical,
+        wild_count=wild_count,
+        wild_all_three=wild_all_three,
+        wild_support_counts=wild_support_counts,
+        wild_rates=wild_rates,
+        start_rank=deployments[0].rank if deployments else task.start + 1,
+        category_codes=bytes(
+            figure12.CATEGORY_CODES[deployment.category] for deployment in deployments
+        ),
+        field_size_counts=field_size_counts,
+        certificate_count=certificate_count,
+        quic_chain_size_counts=quic_chain_size_counts,
+        https_chain_size_counts=https_chain_size_counts,
+        parent_chain_groups=parent_chain_groups,
+        parent_chain_totals=parent_chain_totals,
+        field_sums=field_sums,
+        field_counts=field_counts,
+        key_alg_counters=key_alg_counters,
+        key_alg_totals=key_alg_totals,
+        synth_rates=synth_rates,
+        synth_below_uncompressed=synth_below_uncompressed,
+        synth_below_compressed=synth_below_compressed,
+        synth_count=synth_count,
+        fig14_leaf_sizes=fig14_leaf_sizes,
+        fig14_san_shares=fig14_san_shares,
+        spoof_candidates=tuple(spoof_candidates),
+        flight_cache=cache.cache_info(),
+    )

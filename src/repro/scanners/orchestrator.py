@@ -31,12 +31,21 @@ from ..webpki.population import (
     build_network_for,
     generate_population,
 )
-from .sharding import DEFAULT_SHARD_SIZE, global_sweep_sample, run_sharded_scan
+from .columnar import resolve_scan_backend
+from .sharding import (
+    DEFAULT_SHARD_SIZE,
+    build_shard_tasks,
+    dispatch_with_retry,
+    global_sweep_sample,
+    run_sharded_scan,
+)
 from .streaming import (
+    CampaignReducer,
     META_SERVICE_DOMAINS,
     ReducedCampaignResults,
     ReductionSpec,
     SPOOF_PROVIDERS,
+    _scan_and_summarize,
     provider_of_domain,
     run_streaming_scan,
     take_per_provider,
@@ -156,8 +165,17 @@ class MeasurementCampaign:
         resume: bool = False,
         retry_policy=None,
         fault_plan=None,
+        scan_backend: Optional[str] = None,
     ) -> None:
         self.stream = stream
+        #: Shard-scan implementation (see :mod:`repro.scanners.columnar`).
+        #: An explicit value is validated eagerly; ``None`` stays ``None`` so
+        #: only streamed runs consult the ``REPRO_SCAN_BACKEND`` environment
+        #: knob (the eager pipelines keep their full-observation internals
+        #: unless a caller opts into columnar explicitly).
+        self.scan_backend = (
+            resolve_scan_backend(scan_backend) if scan_backend is not None else None
+        )
         if (checkpoint_dir is not None or resume) and not stream:
             raise ValueError(
                 "checkpoint/resume rides the streaming pipeline; pass stream=True"
@@ -219,6 +237,8 @@ class MeasurementCampaign:
     def run(self) -> "CampaignResults | ReducedCampaignResults":
         if self.stream:
             return self._run_streaming()
+        if self.scan_backend == "columnar":
+            return self._run_eager_columnar()
         if self.workers is not None or self.shard_size is not None:
             return self._run_sharded()
         return self._run_serial()
@@ -350,6 +370,56 @@ class MeasurementCampaign:
             scenario=self.scenario,
         )
 
+    def _run_eager_columnar(self) -> ReducedCampaignResults:
+        """Eager pipeline on the columnar backend.
+
+        The already-materialised population is scan-reduced shard by shard
+        through the columnar kernel and finalised exactly like a streamed run,
+        so the report is byte-identical to every other path; the return type
+        is :class:`~repro.scanners.streaming.ReducedCampaignResults` (summary
+        internals, not per-domain observations).  Tasks ship the deployments
+        by value — ``resolve_deployments`` prefers them — while still carrying
+        the population config so the scenario fingerprint stamped into each
+        summary matches this campaign's.
+        """
+        import dataclasses
+
+        population = self.population
+        workers = self.workers if self.workers is not None else 1
+        spec = ReductionSpec(spoof_limit_per_provider=self.spoofed_targets_per_provider)
+        tasks = [
+            dataclasses.replace(task, population_config=population.config)
+            for task in build_shard_tasks(
+                population.deployments,
+                shard_size=(
+                    self.shard_size if self.shard_size is not None else DEFAULT_SHARD_SIZE
+                ),
+                analysis_initial_size=self.analysis_initial_size,
+                analysis_compression=self.analysis_compression,
+                run_sweep=self.run_sweep,
+                sweep_sample_size=self.sweep_sample_size,
+                scan_backend="columnar",
+            )
+        ]
+        tasks_by_index = {task.index: task for task in tasks}
+        reducer = CampaignReducer(spec=spec, run_sweep=self.run_sweep)
+
+        def make_payload(index: int, attempt: int):
+            return (tasks_by_index[index], spec, attempt, self.fault_plan)
+
+        def on_result(index: int, summary) -> None:
+            reducer.add(summary)
+
+        dispatch_with_retry(
+            sorted(tasks_by_index),
+            make_payload,
+            _scan_and_summarize,
+            workers if workers > 1 and len(tasks) > 1 else 1,
+            self.retry_policy,
+            on_result,
+        )
+        return self.finalize_streaming(reducer.reduced_scan())
+
     def _run_streaming(self) -> ReducedCampaignResults:
         """Streaming pipeline: scan + reduce per shard, stage 5 in the parent."""
         config = self.population_config
@@ -367,6 +437,7 @@ class MeasurementCampaign:
             resume=self.resume,
             retry_policy=self.retry_policy,
             fault_plan=self.fault_plan,
+            scan_backend=self.scan_backend,
         )
         return self.finalize_streaming(scan)
 

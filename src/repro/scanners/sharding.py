@@ -133,6 +133,12 @@ class ShardTask:
     #: :func:`global_sweep_sample` without shipping any target list.
     sweep_local_selection: Optional[Tuple[int, int]] = None
     sweep_initial_sizes: Tuple[int, ...] = SWEEP_INITIAL_SIZES
+    #: Which shard-scan implementation the worker runs: ``"object"`` (the
+    #: reference stages 1–4 over real fabric objects) or ``"columnar"`` (the
+    #: fused arithmetic kernel in :mod:`repro.scanners.columnar`, streaming
+    #: runs only).  Appended last so pickled tasks from older call sites keep
+    #: their field order.
+    scan_backend: str = "object"
 
     def resolve_deployments(self) -> Tuple[DomainDeployment, ...]:
         if self.use_fork_shared:
@@ -588,6 +594,7 @@ def build_shard_tasks(
     sweep_initial_sizes: Sequence[int] = SWEEP_INITIAL_SIZES,
     regenerate_config: Optional[PopulationConfig] = None,
     use_fork_shared: bool = False,
+    scan_backend: str = "object",
 ) -> List[ShardTask]:
     """Plan shards over rank-ordered ``deployments`` and package their tasks.
 
@@ -618,6 +625,7 @@ def build_shard_tasks(
             run_sweep=run_sweep,
             sweep_targets=tuple(sweep_by_shard[spec.index]),
             sweep_initial_sizes=tuple(sweep_initial_sizes),
+            scan_backend=scan_backend,
         )
         for spec in specs
     ]
@@ -633,6 +641,7 @@ def run_sharded_scan(
     sweep_sample_size: Optional[int] = 2000,
     sweep_initial_sizes: Sequence[int] = SWEEP_INITIAL_SIZES,
     retry_policy: Optional[RetryPolicy] = None,
+    scan_backend: Optional[str] = None,
 ) -> MergedScanResults:
     """Run stages 1–4 over the population, sharded across ``workers`` processes.
 
@@ -647,6 +656,17 @@ def run_sharded_scan(
     """
     if workers <= 0:
         raise ValueError("workers must be positive")
+    # The columnar backend emits ShardSummary objects, not per-domain
+    # observations, so it only exists on the reduced (streaming) pipeline;
+    # this runner's merge contract needs the full object-path partials.  The
+    # environment knob is deliberately not consulted here for the same reason.
+    if scan_backend is not None and scan_backend != "object":
+        raise ValueError(
+            f"run_sharded_scan only supports the 'object' backend, not "
+            f"{scan_backend!r}; use the streaming pipeline "
+            f"(run_streaming_scan / MeasurementCampaign(stream=True)) for "
+            f"'columnar'"
+        )
     multiprocess = workers > 1 and len(population.deployments) > shard_size
     # How shard deployments reach the workers, cheapest first:
     #  * fork start method: publish the list in a module global right before

@@ -427,6 +427,11 @@ def _scan_and_summarize(payload: Tuple[ShardTask, ReductionSpec, int, object]) -
     if fault_plan is not None:
         fault_plan.inject_worker_fault(task.index, attempt)
     deployments = tuple(task.resolve_deployments())
+    if task.scan_backend == "columnar":
+        # Imported lazily: columnar imports this module at top level.
+        from .columnar import summarize_shard_columnar
+
+        return summarize_shard_columnar(task, deployments, spec)
     scan = scan_shard(task, deployments=deployments)
     return summarize_shard(task, deployments, scan, spec)
 
@@ -989,6 +994,7 @@ def run_streaming_scan(
     resume: bool = False,
     retry_policy: Optional[RetryPolicy] = None,
     fault_plan: Optional[FaultPlan] = None,
+    scan_backend: Optional[str] = None,
 ) -> ReducedScanResults:
     """Stream stages 1–4 over a generated population, reducing as shards finish.
 
@@ -1016,11 +1022,20 @@ def run_streaming_scan(
       ``incomplete.json`` manifest naming the missing shard indices.
     * ``fault_plan`` arms the deterministic fault-injection harness
       (:mod:`repro.scanners.faults`) — testing only.
+
+    ``scan_backend`` picks the shard-scan implementation (``"object"`` or
+    ``"columnar"``, see :mod:`repro.scanners.columnar`); ``None`` consults the
+    ``REPRO_SCAN_BACKEND`` environment knob and defaults to ``"object"``.
+    Both backends produce byte-identical summaries, so checkpoints written by
+    one backend resume cleanly under the other.
     """
     if workers <= 0:
         raise ValueError("workers must be positive")
     if resume and checkpoint_dir is None:
         raise CheckpointError("resume requires a checkpoint directory")
+    from .columnar import resolve_scan_backend  # lazy: columnar imports us
+
+    scan_backend = resolve_scan_backend(scan_backend)
     spec = spec or ReductionSpec()
     shard_specs = plan_shards(config.size, shard_size)
     multiprocess = workers > 1 and len(shard_specs) > 1
@@ -1072,6 +1087,7 @@ def run_streaming_scan(
             run_sweep=run_sweep,
             sweep_local_selection=selections[shard.index],
             sweep_initial_sizes=tuple(sweep_initial_sizes),
+            scan_backend=scan_backend,
         )
         for shard in shard_specs
     ]

@@ -63,13 +63,29 @@ class CertificateCompressionAlgorithm(Enum):
 
     def compressed_size(self, payload: bytes) -> int:
         """Size of ``payload`` after compression with this algorithm."""
-        deflate_size = len(zlib.compress(payload, level=9))
-        factor = {
-            CertificateCompressionAlgorithm.ZLIB: _ZLIB_VS_DEFLATE,
-            CertificateCompressionAlgorithm.BROTLI: _BROTLI_VS_DEFLATE,
-            CertificateCompressionAlgorithm.ZSTD: _ZSTD_VS_DEFLATE,
-        }[self]
-        return max(1, int(round(deflate_size * factor)))
+        return compressed_size_for_deflate(self, deflate_size(payload))
+
+
+def deflate_size(payload: bytes) -> int:
+    """Size of ``payload`` after the raw (dictionary-less) DEFLATE pass.
+
+    This is the one genuinely expensive step of the model; callers that size
+    several algorithms against the same payload (the columnar scan backend)
+    run it once and scale with :func:`compressed_size_for_deflate`.
+    """
+    return len(zlib.compress(payload, level=9))
+
+
+def compressed_size_for_deflate(
+    algorithm: CertificateCompressionAlgorithm, deflate_length: int
+) -> int:
+    """Modelled RFC 8879 output size given a measured raw-DEFLATE size."""
+    factor = {
+        CertificateCompressionAlgorithm.ZLIB: _ZLIB_VS_DEFLATE,
+        CertificateCompressionAlgorithm.BROTLI: _BROTLI_VS_DEFLATE,
+        CertificateCompressionAlgorithm.ZSTD: _ZSTD_VS_DEFLATE,
+    }[algorithm]
+    return max(1, int(round(deflate_length * factor)))
 
 
 @dataclass(frozen=True)

@@ -268,3 +268,172 @@ def test_campaign_reduction_rejects_duplicate_shards():
     reducer.add(summaries[0])
     with pytest.raises(ValueError):
         reducer.add(summaries[0])
+
+
+# ---------------------------------------------------------------------------
+# Columnar scan kernel vs the object wire model
+# ---------------------------------------------------------------------------
+#
+# The columnar backend (repro.scanners.columnar) re-derives every handshake
+# observable as batch arithmetic instead of building packet/frame objects.
+# These properties pin that arithmetic to the object model it mirrors, for
+# randomized single-deployment inputs and for degenerate whole shards.
+
+import pytest
+
+from repro.quic.client import QuicClientConfig
+from repro.quic.connection_id import ConnectionId
+from repro.quic.frames import PaddingFrame
+from repro.quic.handshake import simulate_handshake
+from repro.quic.packet import HandshakePacket, InitialPacket
+from repro.quic.profiles import BUILTIN_PROFILES
+from repro.quic.server import FlightPlanCache
+from repro.scanners import columnar
+from repro.scanners.columnar import summarize_shard_columnar
+from repro.tls.cert_compression import (
+    CertificateCompressionAlgorithm,
+    chain_payload,
+    compressed_size_for_deflate,
+    deflate_size,
+)
+from repro.webpki.deployment import ServiceCategory
+from repro.webpki.population import generate_population
+from repro.x509.ca import default_hierarchy
+
+_CA_LABELS = tuple(sorted(default_hierarchy().profiles))
+_SERVER_PROFILES = tuple(sorted(BUILTIN_PROFILES))
+_COMPRESSION_ALGORITHMS = tuple(CertificateCompressionAlgorithm)
+
+
+@lru_cache(maxsize=None)
+def _issued_chain(ca_label, domain):
+    return default_hierarchy().profiles[ca_label].issue(domain)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    payload=st.integers(min_value=1, max_value=4000),
+    packet_number=st.integers(min_value=0, max_value=(1 << 30)),
+)
+def test_columnar_packet_arithmetic_matches_packet_objects(payload, packet_number):
+    """_pn_len/_packet_size reproduce QuicPacket.size exactly — packet-number
+    width and the varint width of the length field included."""
+    client_cid = ConnectionId.generate("client")
+    server_cid = ConnectionId.generate("server")
+    frames = (PaddingFrame(payload),)
+    pn_len = columnar._pn_len(packet_number)
+    handshake = HandshakePacket(client_cid, server_cid, packet_number, frames)
+    assert pn_len == handshake.packet_number_length
+    assert (
+        columnar._packet_size(columnar._HANDSHAKE_BASE, payload, pn_len)
+        == handshake.size
+    )
+    initial = InitialPacket(client_cid, server_cid, packet_number, frames)
+    assert (
+        columnar._packet_size(columnar._INITIAL_BASE, payload, pn_len)
+        == initial.size
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ca=st.sampled_from(_CA_LABELS),
+    algorithm=st.sampled_from(_COMPRESSION_ALGORITHMS),
+)
+def test_chain_columns_match_object_payload_sizes(ca, algorithm):
+    """_ChainColumns' payload/deflate lengths equal the real encoded payload,
+    and the split compression helpers equal CertificateCompressionAlgorithm's
+    own compressed_size."""
+    chain = _issued_chain(ca, "columns.example")
+    columns = columnar._ChainColumns(chain)
+    payload = chain_payload(cert.der for cert in chain.certificates)
+    assert columns.payload_len == len(payload)
+    assert columns.deflate_len == deflate_size(payload)
+    assert compressed_size_for_deflate(
+        algorithm, columns.deflate_len
+    ) == algorithm.compressed_size(payload)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    ca=st.sampled_from(_CA_LABELS),
+    server=st.sampled_from(_SERVER_PROFILES),
+    initial_size=st.integers(min_value=1200, max_value=1472),
+    offer=st.lists(
+        st.sampled_from(_COMPRESSION_ALGORITHMS), unique=True, max_size=3
+    ).map(tuple),
+    domain=st.sampled_from(
+        ("example.org", "cdn.a.test", "w" * 40 + ".retry-token-truncation.example")
+    ),
+)
+def test_columnar_measure_matches_simulated_handshake(
+    ca, server, initial_size, offer, domain
+):
+    """The fused _measure kernel equals a full object-model handshake for any
+    (CA profile, server profile, Initial size, compression offer): class,
+    first-RTT bytes, total bytes, TLS payload, QUIC overhead, round trips and
+    the amplification ratio."""
+    chain = _issued_chain(ca, domain)
+    profile = BUILTIN_PROFILES[server]
+    outcome = simulate_handshake(
+        domain,
+        chain,
+        profile,
+        QuicClientConfig(
+            initial_datagram_size=initial_size, compression_algorithms=offer
+        ),
+    )
+    trace = outcome.trace
+    measured = columnar._measure(
+        domain,
+        profile,
+        columnar._ChainColumns(chain),
+        offer,
+        initial_size,
+        FlightPlanCache(),
+    )
+    assert measured == (
+        outcome.handshake_class,
+        trace.server_bytes_first_rtt,
+        trace.server_bytes_total,
+        trace.tls_payload_bytes,
+        trace.quic_overhead_bytes,
+        trace.round_trips,
+    )
+    assert measured[1] / initial_size == trace.first_rtt_amplification
+
+
+@lru_cache(maxsize=1)
+def _edge_shard_deployments():
+    deployments = tuple(
+        generate_population(PopulationConfig(size=420, seed=23)).deployments
+    )
+    return {
+        "empty": (),
+        "single-domain": deployments[:1],
+        "all-non-quic": tuple(
+            d for d in deployments if d.category is not ServiceCategory.QUIC
+        )[:64],
+        "all-spoof-target": tuple(
+            d for d in deployments if d.supports_quic and d.provider
+        )[:64],
+    }
+
+
+@pytest.mark.parametrize(
+    "case", ["empty", "single-domain", "all-non-quic", "all-spoof-target"]
+)
+def test_edge_shards_identical_under_both_backends(case):
+    """Degenerate shards summarise identically under both backends."""
+    deployments = _edge_shard_deployments()[case]
+    task = ShardTask(
+        index=0,
+        deployments=deployments,
+        start=0,
+        stop=len(deployments),
+        run_sweep=True,
+        sweep_local_selection=(0, 5),
+    )
+    scan = scan_shard(task, deployments=deployments)
+    expected = summarize_shard(task, deployments, scan, _REDUCTION_SPEC)
+    assert summarize_shard_columnar(task, deployments, _REDUCTION_SPEC) == expected
