@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Fail when the columnar scan+reduce wall clock regresses past a tolerance.
+
+CI measures a fresh ``BENCH_campaign.json`` (``scripts/profile_campaign.py
+--phases``) and hands it here together with the copy checked into the repo
+root.  The gate compares the perf-tracked phases — ``scan`` and ``reduce``,
+the fused columnar kernel plus the reducer fold — and exits non-zero when the
+fresh measurement is slower than ``baseline * (1 + tolerance)``.
+
+The default tolerance is deliberately wide (25%): the two files are usually
+measured on *different machines* (a CI runner vs the machine that committed
+the baseline), so the gate only catches real regressions — an accidentally
+quadratic fold, a cache key that stopped deduplicating — not scheduler noise.
+Generation, checkpoint and report phases are reported for context but not
+gated: they are not what the columnar backend optimises.
+
+Usage::
+
+    python scripts/check_bench_regression.py FRESH.json --baseline BENCH_campaign.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Phases the columnar backend is accountable for.
+GATED_PHASES = ("scan", "reduce")
+
+
+def load_phases(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"cannot read benchmark file {path!r}: {error}")
+    phases = payload.get("phases")
+    if not isinstance(phases, dict):
+        raise SystemExit(f"{path!r} has no 'phases' object — not a --phases JSON?")
+    missing = [name for name in GATED_PHASES if name not in phases]
+    if missing:
+        raise SystemExit(f"{path!r} is missing phase(s): {', '.join(missing)}")
+    return phases
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate the columnar scan+reduce wall clock against a baseline."
+    )
+    parser.add_argument("fresh", help="freshly measured --phases JSON")
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_campaign.json",
+        help="checked-in baseline JSON (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown before failing (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = load_phases(args.fresh)
+    baseline = load_phases(args.baseline)
+
+    fresh_gated = sum(fresh[name] for name in GATED_PHASES)
+    baseline_gated = sum(baseline[name] for name in GATED_PHASES)
+    limit = baseline_gated * (1.0 + args.tolerance)
+
+    for name in sorted(set(fresh) | set(baseline)):
+        flag = " (gated)" if name in GATED_PHASES else ""
+        print(
+            f"{name:>12}: fresh {fresh.get(name, float('nan')):7.4f}s   "
+            f"baseline {baseline.get(name, float('nan')):7.4f}s{flag}"
+        )
+    print(
+        f"{'scan+reduce':>12}: fresh {fresh_gated:.4f}s vs limit {limit:.4f}s "
+        f"(baseline {baseline_gated:.4f}s + {args.tolerance:.0%})"
+    )
+
+    if fresh_gated > limit:
+        print(
+            f"FAIL: columnar scan+reduce regressed {fresh_gated / baseline_gated:.2f}x "
+            f"over the checked-in baseline (tolerance {args.tolerance:.0%})",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: columnar scan+reduce within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -86,6 +86,27 @@ def accumulate_field_sizes(
     return folded
 
 
+def accumulate_row_counts(
+    rows_with_multiplicity: Iterable, counts: Dict[str, Dict[int, int]]
+) -> int:
+    """Multiplicity-scaled fold over deduplicated field-size rows.
+
+    ``rows_with_multiplicity`` yields ``(row, multiplicity)`` pairs where
+    ``row`` is a :func:`~repro.x509.field_sizes.field_size_row` tuple (the
+    first five entries follow :data:`FIELD_NAMES` order).  Folding one row
+    scaled by ``m`` equals folding the certificate ``m`` times through
+    :func:`accumulate_field_sizes` — the columnar backend's shape-dedup
+    contract.  Returns the number of certificates represented.
+    """
+    folded = 0
+    for row, multiplicity in rows_with_multiplicity:
+        for field, size in zip(FIELD_NAMES, row):
+            field_counts = counts[field]
+            field_counts[size] = field_counts.get(size, 0) + multiplicity
+        folded += multiplicity
+    return folded
+
+
 def compute_from_counts(
     counts: Dict[str, Dict[int, int]], certificate_count: int
 ) -> FieldSizeDistributions:

@@ -171,6 +171,33 @@ def accumulate_groups(
     return total
 
 
+def fold_group_member(
+    groups: Dict[Tuple[str, ...], ParentChainStats],
+    key: Tuple[str, ...],
+    leaf_size: int,
+    global_index: int,
+    parent_sizes: Tuple[int, ...],
+) -> None:
+    """Fold one pre-resolved chain into its parent-chain group.
+
+    The columnar backend computes ``key``/``parent_sizes`` once per distinct
+    parent tuple and calls this per chain in deployment order, so
+    ``first_index`` and the first-member ``parent_sizes`` keep exactly the
+    semantics of :func:`accumulate_groups`.
+    """
+    stats = groups.get(key)
+    if stats is None:
+        groups[key] = ParentChainStats(
+            count=1,
+            leaf_size_counts={leaf_size: 1},
+            first_index=global_index,
+            parent_sizes=parent_sizes,
+        )
+    else:
+        stats.count += 1
+        stats.leaf_size_counts[leaf_size] = stats.leaf_size_counts.get(leaf_size, 0) + 1
+
+
 def compute_from_groups(
     groups: Dict[Tuple[str, ...], ParentChainStats],
     group_label: str,

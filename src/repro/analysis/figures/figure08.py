@@ -117,6 +117,26 @@ def accumulate_field_sums(
                     break
 
 
+def accumulate_row_sums(
+    label: str,
+    row: Tuple[int, ...],
+    multiplicity: int,
+    sums: Dict[str, Dict[str, int]],
+    counts: Dict[str, int],
+) -> None:
+    """Fold one deduplicated field-size row into a group, scaled by multiplicity.
+
+    ``row`` is a :func:`~repro.x509.field_sizes.field_size_row` tuple (same
+    order as :data:`FIELD_SUM_KEYS`); adding ``value * multiplicity`` to the
+    integer sums equals ``multiplicity`` passes of
+    :func:`accumulate_field_sums` over the same certificate.
+    """
+    group_sums = sums[label]
+    for key, value in zip(FIELD_SUM_KEYS, row):
+        group_sums[key] += value * multiplicity
+    counts[label] += multiplicity
+
+
 def empty_field_sums() -> Tuple[Dict[str, Dict[str, int]], Dict[str, int]]:
     """Fresh zeroed accumulators for :func:`accumulate_field_sums`."""
     return (

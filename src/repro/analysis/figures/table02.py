@@ -118,6 +118,34 @@ def accumulate_key_algorithms(
             counters[algo_key] = counters.get(algo_key, 0) + 1
 
 
+def accumulate_algorithm_counts(
+    service_group: str,
+    cert_type: str,
+    algorithm_counts: Dict[KeyAlgorithm, int],
+    chain_multiplicity: int,
+    counters: Dict[Tuple[str, str, KeyAlgorithm], int],
+    totals: Dict[Tuple[str, str], int],
+) -> None:
+    """Fold deduplicated per-algorithm counts, scaled by chain multiplicity.
+
+    ``algorithm_counts`` maps each key algorithm to its occurrence count
+    within one distinct certificate tuple (e.g. a shared parent chain);
+    ``chain_multiplicity`` is how many delivered chains carry that tuple.
+    Equivalent to ``chain_multiplicity`` passes of
+    :func:`accumulate_key_algorithms` over the same certificates.
+    """
+    if not chain_multiplicity or not algorithm_counts:
+        return
+    key = (service_group, cert_type)
+    certificates = 0
+    for algorithm, count in algorithm_counts.items():
+        scaled = count * chain_multiplicity
+        algo_key = (service_group, cert_type, algorithm)
+        counters[algo_key] = counters.get(algo_key, 0) + scaled
+        certificates += scaled
+    totals[key] = totals.get(key, 0) + certificates
+
+
 def compute_from_counters(
     counters: Dict[Tuple[str, str, KeyAlgorithm], int],
     totals: Dict[Tuple[str, str], int],

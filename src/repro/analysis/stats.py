@@ -21,7 +21,16 @@ def median(values: Iterable[float]) -> float:
 
 
 def percentile(values: Iterable[float], fraction: float) -> float:
-    """Nearest-rank percentile with linear index rounding."""
+    """Nearest-rank percentile with linear index rounding.
+
+    The fractional rank ``fraction * (len - 1)`` is rounded with Python's
+    built-in ``round`` — **banker's rounding**, half-to-even: a rank of 0.5
+    picks index 0, a rank of 1.5 picks index 2.  This is deliberate and
+    load-bearing: every golden report digest was produced under half-to-even,
+    so switching to half-up rounding (e.g. ``math.floor(x + 0.5)``) would
+    silently shift percentile picks on even-length inputs and break
+    byte-identity.  Pinned by ``tests/test_stats.py``.
+    """
     if not 0.0 <= fraction <= 1.0:
         raise ValueError("fraction must be within [0, 1]")
     ordered: List[float] = sorted(float(v) for v in values)

@@ -1,0 +1,52 @@
+"""Lock-free per-instance property caching.
+
+``functools.cached_property`` on Python 3.11 serialises every first access
+through an ``RLock`` that was removed upstream in 3.12 (bpo-43468): the lock
+protects nothing useful — each instance computes its own value, and the
+pipeline's parallelism is process-based, not thread-based.  The wire and
+chain models create hundreds of thousands of small immutable objects per
+campaign whose sizes are computed exactly once each, so the per-miss lock is
+pure overhead on the hot path.
+
+This drop-in equivalent keeps 3.12 semantics: compute on first access, store
+in the instance ``__dict__`` (works on frozen dataclasses — the write
+bypasses ``__setattr__``), and let every later access hit the instance
+attribute directly without re-entering the descriptor.
+"""
+
+from __future__ import annotations
+
+_NOT_FOUND = object()
+
+
+class cached_property:  # noqa: N801 — mirrors the stdlib descriptor's name
+    """``functools.cached_property`` without the 3.11 per-miss lock."""
+
+    def __init__(self, func):
+        self.func = func
+        self.attrname = None
+        self.__doc__ = func.__doc__
+
+    def __set_name__(self, owner, name):
+        if self.attrname is None:
+            self.attrname = name
+        elif name != self.attrname:
+            raise TypeError(
+                "cannot assign the same cached_property to two different "
+                f"names ({self.attrname!r} and {name!r})"
+            )
+
+    def __get__(self, instance, owner=None):
+        if instance is None:
+            return self
+        if self.attrname is None:
+            raise TypeError(
+                "cannot use cached_property instance without calling "
+                "__set_name__ on it"
+            )
+        cache = instance.__dict__
+        val = cache.get(self.attrname, _NOT_FOUND)
+        if val is _NOT_FOUND:
+            val = self.func(instance)
+            cache[self.attrname] = val
+        return val

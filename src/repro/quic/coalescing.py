@@ -9,7 +9,7 @@ which wastes anti-amplification budget (the Cloudflare finding, §4.1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import cached_property
+from ..caching import cached_property  # lock-free (see repro.caching)
 from typing import Iterable, List, Sequence, Tuple
 
 from .packet import PacketType, QuicPacket

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import IntEnum
-from functools import cached_property
+from ..caching import cached_property  # lock-free (see repro.caching)
 from typing import Tuple
 
 from .varint import encode_varint, varint_size

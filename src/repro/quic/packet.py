@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from functools import cached_property
+from ..caching import cached_property  # lock-free (see repro.caching)
 from typing import Tuple
 
 from .connection_id import ConnectionId

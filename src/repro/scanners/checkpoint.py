@@ -153,6 +153,9 @@ class CheckpointStore:
     def __init__(self, directory: str) -> None:
         self.directory = directory
         os.makedirs(directory, exist_ok=True)
+        # Highest retry attempt that has written each filename, for the
+        # last-write-safe guard in :meth:`save`.
+        self._saved_attempts: Dict[str, int] = {}
 
     # -- paths ----------------------------------------------------------------
 
@@ -223,10 +226,23 @@ class CheckpointStore:
 
     # -- save/load -------------------------------------------------------------
 
-    def save(self, key: CheckpointKey, summary: object) -> str:
-        """Atomically persist one shard summary; returns the checkpoint path."""
+    def save(self, key: CheckpointKey, summary: object, attempt: int = 0) -> str:
+        """Atomically persist one shard summary; returns the checkpoint path.
+
+        ``attempt`` is the retry attempt that produced ``summary``.  A save
+        from an attempt older than one already persisted for the same file is
+        skipped (the existing path is returned): if a timed-out attempt's
+        result surfaces after its retry already checkpointed, the stale bytes
+        can never clobber the newer ones.  Equal or newer attempts overwrite
+        as before — shard summaries are deterministic per attempt, so the
+        guard only suppresses genuinely out-of-order writes.
+        """
         path = self.path_for(key)
+        persisted = self._saved_attempts.get(path)
+        if persisted is not None and attempt < persisted:
+            return path
         atomic_write_bytes(path, encode_checkpoint(summary))
+        self._saved_attempts[path] = attempt
         return path
 
     def quarantine(self, path: str) -> str:

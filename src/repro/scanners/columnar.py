@@ -54,9 +54,9 @@ from ..quic.server import FlightPlanCache
 from ..quic.varint import varint_size
 from ..tls.cert_compression import (
     CertificateCompressionAlgorithm,
-    chain_payload,
+    chain_deflate_size,
+    chain_payload_size,
     compressed_size_for_deflate,
-    deflate_size,
 )
 from ..tls.handshake_messages import (
     CertificateVerify,
@@ -65,8 +65,14 @@ from ..tls.handshake_messages import (
     ServerHello,
 )
 from ..webpki.deployment import DomainDeployment, ServiceCategory
-from ..x509.chain import CertificateChain, chain_fingerprint
-from ..x509.field_sizes import san_byte_share
+from ..x509.certificate import Certificate
+from ..x509.chain import (
+    CertificateChain,
+    certificates_correctly_ordered,
+    chain_fingerprint,
+    parent_chain_labels,
+)
+from ..x509.field_sizes import field_size_row, san_byte_share
 from ..x509.keys import KeyAlgorithm
 from .compression_scanner import ALL_ALGORITHMS
 from .https_scanner import ScanFunnel
@@ -171,13 +177,16 @@ def _padded_packet_size(
 # _pad_datagram/_apply_amplification_limit)
 # ---------------------------------------------------------------------------
 
-#: (profile, certificate message size, CertificateVerify size) ->
+#: (profile id, certificate message size, CertificateVerify size) ->
 #: (datagram rows ``(size, ack_eliciting, padding_bytes)``, total bytes).
 #: Process-wide: flights depend only on these three inputs, and the handful of
 #: (profile, chain-size-class) combinations repeats across every shard.
+#: Profiles are keyed by ``id`` — they are the immortal module singletons of
+#: :mod:`repro.quic.profiles`, so identity is stable for the process lifetime
+#: and the key skips the dataclass hash (which re-hashes every enum field).
 _FLIGHT_ROWS: Dict[tuple, Tuple[Tuple[Tuple[int, bool, int], ...], int]] = {}
 
-#: (profile, certificate size, verify size, Initial size) ->
+#: (profile id, certificate size, verify size, Initial size) ->
 #: (first-RTT bytes, deferred bytes) for an unvalidated client.
 _FLIGHT_SPLITS: Dict[tuple, Tuple[int, int]] = {}
 
@@ -185,7 +194,7 @@ _FLIGHT_SPLITS: Dict[tuple, Tuple[int, int]] = {}
 def _flight_rows(
     profile: ServerBehaviorProfile, certificate_size: int, verify_size: int
 ) -> Tuple[Tuple[Tuple[int, bool, int], ...], int]:
-    key = (profile, certificate_size, verify_size)
+    key = (id(profile), certificate_size, verify_size)
     cached = _FLIGHT_ROWS.get(key)
     if cached is not None:
         return cached
@@ -286,7 +295,7 @@ def _first_rtt_split(
     initial_size: int,
 ) -> Tuple[int, int]:
     """First-RTT/deferred byte split under the profile's own accounting."""
-    key = (profile, certificate_size, verify_size, initial_size)
+    key = (id(profile), certificate_size, verify_size, initial_size)
     cached = _FLIGHT_SPLITS.get(key)
     if cached is not None:
         return cached
@@ -322,33 +331,24 @@ def _first_rtt_split(
 class _ChainColumns:
     """The numbers the kernel needs from one certificate chain.
 
-    ``deflate_len`` is computed lazily (only chains that actually negotiate or
-    measure compression pay the zlib pass) and exactly once per chain.
+    Payload and DEFLATE lengths live as memos *on the chain instance*
+    (:func:`~repro.tls.cert_compression.chain_payload_size` /
+    :func:`~repro.tls.cert_compression.chain_deflate_size`), so the handshake
+    path and the ground-truth folds share one measurement per chain —
+    ``deflate_len`` stays lazy: only chains that actually negotiate or
+    measure compression pay the zlib pass, and exactly once.
     """
 
-    __slots__ = ("chain", "payload_len", "fingerprint", "verify_size", "_deflate_len")
+    __slots__ = ("chain", "payload_len", "verify_size")
 
     def __init__(self, chain: CertificateChain) -> None:
         self.chain = chain
-        der_total = 0
-        count = 0
-        for certificate in chain.certificates:
-            der_total += len(certificate.der)
-            count += 1
-        # chain_payload: 3-byte list prefix + per certificate a 3-byte length,
-        # the DER bytes and a 2-byte empty extensions field.
-        self.payload_len = 3 + der_total + 5 * count
-        self.fingerprint = chain_fingerprint(chain)
+        self.payload_len = chain_payload_size(chain)
         self.verify_size = _CERT_VERIFY_SIZE[chain.leaf.key_algorithm]
-        self._deflate_len: Optional[int] = None
 
     @property
     def deflate_len(self) -> int:
-        if self._deflate_len is None:
-            self._deflate_len = deflate_size(
-                chain_payload(certificate.der for certificate in self.chain.certificates)
-            )
-        return self._deflate_len
+        return chain_deflate_size(self.chain)
 
 
 def _certificate_message_size(
@@ -399,7 +399,13 @@ def _measure(
         + columns.verify_size
         + _FINISHED_SIZE
     )
-    key = (domain, profile, columns.fingerprint, offer)
+    # Keyed by identity, not content: within one kernel call chain instances
+    # are stable and no two distinct instances encode the same bytes (every
+    # leaf embeds its domain), and behaviour profiles are the module
+    # singletons of repro.quic.profiles (pairwise unequal), so the hit/miss
+    # sequence — the part the differential suite pins — matches the object
+    # path's fingerprint-keyed cache without hashing chains or profiles.
+    key = (domain, id(profile), id(columns.chain), offer)
     cache.get_or_build(key, _flight_cache_entry)
     if profile.retry_policy is RetryPolicy.ALWAYS:
         # The client echoes the token and the server responds again (second
@@ -443,6 +449,53 @@ def _accepts_initial(deployment: DomainDeployment, initial_size: int) -> bool:
 
 
 # ---------------------------------------------------------------------------
+# Shape-deduplicated ground-truth folds
+# ---------------------------------------------------------------------------
+
+class _ParentFold:
+    """Leaf-independent facts of one distinct non-leaf certificate tuple.
+
+    Every chain in a shard is pairwise distinct (each leaf embeds its domain
+    name), but the certificates *above* the leaf are a handful of shared CA
+    hierarchy instances.  This record computes everything the ground-truth
+    figure folds need from that shared suffix — field-size rows, Figure 7
+    labels / internal ordering / per-depth sizes, key-algorithm counts — once,
+    and the kernel scales it by how many delivered chains carry the tuple
+    (the shape-dedup contract, see docs/ARCHITECTURE.md).
+    """
+
+    __slots__ = (
+        "parent_sizes", "parent_total", "parents_ordered", "link_subject",
+        "pc_key", "row_counts", "alg_counts",
+        "delivered", "quic_small", "quic_large", "https_count",
+    )
+
+    def __init__(self, parents: Tuple[Certificate, ...]) -> None:
+        self.parent_sizes = tuple(cert.size for cert in parents)
+        self.parent_total = sum(self.parent_sizes)
+        # The leaf -> first-parent link is per chain; everything internal to
+        # the parent tuple is shared.
+        self.parents_ordered = certificates_correctly_ordered(parents)
+        self.link_subject = parents[0].subject.encode() if parents else None
+        labels = parent_chain_labels(parents)
+        self.pc_key: Optional[Tuple[str, ...]] = tuple(labels) if labels else None
+        row_counts: Dict[tuple, int] = {}
+        alg_counts: Dict[KeyAlgorithm, int] = {}
+        for cert in parents:
+            row = field_size_row(cert)
+            row_counts[row] = row_counts.get(row, 0) + 1
+            algorithm = cert.key_algorithm
+            alg_counts[algorithm] = alg_counts.get(algorithm, 0) + 1
+        self.row_counts = row_counts
+        self.alg_counts = alg_counts
+        # Multiplicities, filled in by the category passes.
+        self.delivered = 0    # delivered chains carrying this tuple (Fig. 2b)
+        self.quic_small = 0   # QUIC chains of total size <= threshold (Fig. 8)
+        self.quic_large = 0   # QUIC chains above the threshold
+        self.https_count = 0  # HTTPS-only delivered chains (Table 2)
+
+
+# ---------------------------------------------------------------------------
 # The fused shard scan
 # ---------------------------------------------------------------------------
 
@@ -463,40 +516,52 @@ def summarize_shard_columnar(
 
     # Stage 1 — the DNS/origin fabric as two dicts (build_resolver_for /
     # build_origins_for + HttpsScanner's lowercasing, last-wins like the real
-    # dict construction order).
+    # dict construction order).  One pass fills both dicts plus the QUIC host
+    # table: each dict sees its entries in the same deployment order the
+    # staged builders produce, so last-wins resolution is unchanged.
     dns_zone: Dict[str, Tuple[DnsRcode, bool]] = {}
-    for deployment in deployments:
-        if deployment.dns_rcode is not DnsRcode.NOERROR:
-            dns_zone[deployment.domain.lower()] = (deployment.dns_rcode, False)
-        elif deployment.address is None:
-            dns_zone[deployment.domain.lower()] = (DnsRcode.NOERROR, False)
-        else:
-            dns_zone[deployment.domain.lower()] = (DnsRcode.NOERROR, True)
-            if deployment.redirect_to:
-                dns_zone[deployment.redirect_to.lower()] = (DnsRcode.NOERROR, True)
-
     # lower-cased name -> (origin domain, https chain, explicit redirect hop).
     origins: Dict[str, Tuple[str, Optional[CertificateChain], Optional[str]]] = {}
+    hosts: Dict[str, DomainDeployment] = {}
+    lowered_domains: List[str] = []
+    category_codes = bytearray()
+    category_code_by_id = {
+        id(category): code for category, code in figure12.CATEGORY_CODES.items()
+    }
     for deployment in deployments:
-        if not deployment.resolves:
+        lowered = deployment.domain.lower()
+        lowered_domains.append(lowered)
+        category_codes.append(category_code_by_id[id(deployment.category)])
+        if deployment.supports_quic and deployment.address is not None:
+            hosts[lowered] = deployment
+        if deployment.dns_rcode is not DnsRcode.NOERROR:
+            dns_zone[lowered] = (deployment.dns_rcode, False)
             continue
+        if deployment.address is None:
+            dns_zone[lowered] = (DnsRcode.NOERROR, False)
+            continue
+        dns_zone[lowered] = (DnsRcode.NOERROR, True)
+        redirect = deployment.redirect_to
+        if redirect:
+            dns_zone[redirect.lower()] = (DnsRcode.NOERROR, True)
         chain = deployment.https_chain
-        if deployment.redirect_to and chain is not None:
-            origins[deployment.redirect_to.lower()] = (deployment.redirect_to, chain, None)
-            origins[deployment.domain.lower()] = (
+        if redirect and chain is not None:
+            origins[redirect.lower()] = (redirect, chain, None)
+            origins[lowered] = (
                 deployment.domain,
                 chain,
-                target_domain(f"https://{deployment.redirect_to}/"),
+                target_domain(f"https://{redirect}/"),
             )
         else:
-            origins[deployment.domain.lower()] = (deployment.domain, chain, None)
+            origins[lowered] = (deployment.domain, chain, None)
+        if deployment.supports_quic:
+            hosts[lowered] = deployment
 
     # The funnel walk of HttpsScanner.scan/_scan_one.
     funnel = ScanFunnel(names_total=len(deployments))
     https_fingerprints: set = set()
     chains_by_requested: Dict[str, CertificateChain] = {}
-    for deployment in deployments:
-        requested = deployment.domain.lower()
+    for requested in lowered_domains:
         rcode, has_address = dns_zone.get(requested, (DnsRcode.NXDOMAIN, False))
         if rcode is DnsRcode.NOERROR:
             funnel.dns_noerror += 1
@@ -511,6 +576,26 @@ def summarize_shard_columnar(
         if not has_address:
             continue
         funnel.with_a_record += 1
+        origin = origins.get(requested)
+        if origin is None:
+            # No origin at the requested name: the walk below would break on
+            # its first hop with nothing collected and no open ports.
+            continue
+        origin_domain, chain, redirect_next = origin
+        if (
+            chain is not None
+            and redirect_next is None
+            and origin_domain.lower() == requested
+        ):
+            # The dominant shape — a plain HTTPS site serving the requested
+            # name directly.  The general walk would take exactly one hop and
+            # land here; folding it inline skips the per-name walk state.
+            https_fingerprints.add(chain_fingerprint(chain))
+            chains_by_requested[requested] = chain
+            funnel.names_with_certificates += 1
+            funnel.port_80_open += 1
+            funnel.port_443_open += 1
+            continue
         collected = False
         visited: set = set()
         current = requested
@@ -555,12 +640,9 @@ def summarize_shard_columnar(
         bytes.fromhex(fingerprint) for fingerprint in https_fingerprints
     )
 
-    # Stage 2 fabric — hosts by lower-cased domain (build_network_for).
+    # Stage 2 fabric — hosts by lower-cased domain (build_network_for),
+    # filled by the stage-1 pass above.
     targets = [(d.domain, d.rank, d.provider) for d in quic_deployments]
-    hosts: Dict[str, DomainDeployment] = {}
-    for deployment in deployments:
-        if deployment.supports_quic and deployment.address is not None:
-            hosts[deployment.domain.lower()] = deployment
 
     columns_by_chain: Dict[int, _ChainColumns] = {}
 
@@ -571,8 +653,12 @@ def summarize_shard_columnar(
             columns_by_chain[id(chain)] = columns
         return columns
 
-    # Stage 2 — handshake classification, folded straight into the summary
-    # series (no HandshakeObservation objects for the analysis pass).
+    # Stages 2, 3 and 4 — handshake classification, QUIC-vs-HTTPS certificate
+    # comparison, and compression support / wild rates — fused into one pass
+    # over the QUIC targets: each target resolves its host exactly once, and
+    # only stage 2's ``_measure`` touches the flight-plan cache, so the
+    # per-target fold order keeps the cache counter sequence byte-identical
+    # to the staged object path.
     analysis_offer = tuple(task.analysis_compression)
     analysis_size = task.analysis_initial_size
     analysis_limit = ANTI_AMPLIFICATION_FACTOR * analysis_size
@@ -586,33 +672,78 @@ def summarize_shard_columnar(
     fig5_limit = array("q")
     fig5_exceeds = 0
     fig5_overhead_max = 0
+    quic_certificate_count = comparison_total = comparison_identical = 0
+    supported_by_profile: Dict[int, Tuple] = {}
+    wild_count = wild_all_three = 0
+    wild_rates: Dict[CertificateCompressionAlgorithm, array] = {
+        algorithm: array("d") for algorithm in ALL_ALGORITHMS
+    }
     for domain, rank, _provider in targets:
-        host = hosts.get(domain.lower())
-        if host is None or not _accepts_initial(host, analysis_size):
+        lowered = domain.lower()
+        host = hosts.get(lowered)
+        if host is None:
             continue
-        handshake_class, first, total, tls_total, overhead, _round_trips = _measure(
-            domain,
-            host.server_behavior,
-            columns_for(host.quic_chain),
-            analysis_offer,
-            analysis_size,
-            cache,
-        )
-        reachable += 1
-        class_counts[handshake_class] = class_counts.get(handshake_class, 0) + 1
-        fig13_ranks.append(rank)
-        fig13_classes.append(figure13.CLASS_CODES[handshake_class])
-        if first > analysis_limit:
-            factor = first / analysis_size
-            amp_factor_counts[factor] = amp_factor_counts.get(factor, 0) + 1
-        if handshake_class is HandshakeClass.MULTI_RTT:
-            fig5_tls.append(tls_total)
-            fig5_total.append(total)
-            fig5_limit.append(analysis_limit)
-            if tls_total > analysis_limit:
-                fig5_exceeds += 1
-            if overhead > fig5_overhead_max:
-                fig5_overhead_max = overhead
+        quic_chain = host.quic_chain
+        profile = host.server_behavior
+
+        # Stage 2 fold — handshake classification at the analysis Initial size.
+        if _accepts_initial(host, analysis_size):
+            handshake_class, first, total, tls_total, overhead, _round_trips = _measure(
+                domain,
+                profile,
+                columns_for(quic_chain),
+                analysis_offer,
+                analysis_size,
+                cache,
+            )
+            reachable += 1
+            class_counts[handshake_class] = class_counts.get(handshake_class, 0) + 1
+            fig13_ranks.append(rank)
+            fig13_classes.append(figure13.CLASS_CODES[handshake_class])
+            if first > analysis_limit:
+                factor = first / analysis_size
+                amp_factor_counts[factor] = amp_factor_counts.get(factor, 0) + 1
+            if handshake_class is HandshakeClass.MULTI_RTT:
+                fig5_tls.append(tls_total)
+                fig5_total.append(total)
+                fig5_limit.append(analysis_limit)
+                if tls_total > analysis_limit:
+                    fig5_exceeds += 1
+                if overhead > fig5_overhead_max:
+                    fig5_overhead_max = overhead
+
+        # Stage 3 fold — certificates over QUIC vs HTTPS.
+        quic_certificate_count += 1
+        https_chain = chains_by_requested.get(lowered)
+        if https_chain is not None:
+            comparison_total += 1
+            if https_chain is quic_chain or chain_fingerprint(
+                https_chain
+            ) == chain_fingerprint(quic_chain):
+                comparison_identical += 1
+
+        # Stage 4 fold — compression support and wild rates.  Each profile's
+        # supported algorithms are resolved to their rate arrays once (keyed
+        # by identity: profiles are the repro.quic.profiles singletons); the
+        # per-algorithm support counts fall out as the array lengths.
+        supported_rows = supported_by_profile.get(id(profile))
+        if supported_rows is None:
+            supported_rows = tuple(
+                (algorithm, wild_rates[algorithm])
+                for algorithm in ALL_ALGORITHMS
+                if algorithm in profile.compression_algorithms
+            )
+            supported_by_profile[id(profile)] = supported_rows
+        wild_count += 1
+        if len(supported_rows) == 3:
+            wild_all_three += 1
+        if supported_rows:
+            columns = columns_for(quic_chain)
+            uncompressed = columns.payload_len
+            deflate_len = columns.deflate_len
+            for algorithm, rates in supported_rows:
+                compressed = compressed_size_for_deflate(algorithm, deflate_len)
+                rates.append(1.0 - compressed / uncompressed)
 
     # Stage 2b — the sampled Initial-size sweep (kept as real observations;
     # the sample is small and the reducer re-interleaves them size-major).
@@ -664,135 +795,245 @@ def summarize_shard_columnar(
                 )
         sweep_observations = tuple(collected_sweep)
 
-    # Stage 3 — certificates over QUIC vs HTTPS.
-    quic_certificate_count = comparison_total = comparison_identical = 0
-    for domain, _rank, _provider in targets:
-        host = hosts.get(domain.lower())
-        if host is None:
-            continue
-        quic_certificate_count += 1
-        https_chain = chains_by_requested.get(domain.lower())
-        if https_chain is None:
-            continue
-        comparison_total += 1
-        if chain_fingerprint(https_chain) == columns_for(host.quic_chain).fingerprint:
-            comparison_identical += 1
+    # Ground-truth (population) reductions, deduplicated per chain shape.
+    # Full chains never repeat (every leaf names its domain), so the dedup
+    # lever is the shared non-leaf suffix: one `_ParentFold` per distinct
+    # parent certificate tuple carries every leaf-independent fact, the two
+    # category passes below fold only the per-leaf contributions in
+    # deployment order (order-critical series stay in order), and the flush
+    # after the passes scales each fold by its multiplicity.  Keying by
+    # certificate ids is sound for the duration of the call — `deployments`
+    # keeps every certificate alive.  Equality with the object path's
+    # per-certificate folds is pinned per artefact by the differential and
+    # property suites (tests/test_columnar_scan.py, tests/test_properties.py).
+    parent_folds: Dict[object, _ParentFold] = {}
 
-    # Stage 4 — compression support and wild rates.
-    supported_by_profile: Dict[ServerBehaviorProfile, Tuple] = {}
-    wild_count = wild_all_three = 0
-    wild_support_counts: Dict[CertificateCompressionAlgorithm, int] = {
-        algorithm: 0 for algorithm in ALL_ALGORITHMS
-    }
-    wild_rates: Dict[CertificateCompressionAlgorithm, array] = {
-        algorithm: array("d") for algorithm in ALL_ALGORITHMS
-    }
-    for domain, _rank, _provider in targets:
-        host = hosts.get(domain.lower())
-        if host is None:
-            continue
-        profile = host.server_behavior
-        supported = supported_by_profile.get(profile)
-        if supported is None:
-            supported = tuple(
-                algorithm
-                for algorithm in ALL_ALGORITHMS
-                if algorithm in profile.compression_algorithms
-            )
-            supported_by_profile[profile] = supported
-        wild_count += 1
-        if len(supported) == 3:
-            wild_all_three += 1
-        if supported:
-            columns = columns_for(host.quic_chain)
-            uncompressed = columns.payload_len
-            deflate_len = columns.deflate_len
-            for algorithm in ALL_ALGORITHMS:
-                if algorithm in supported:
-                    wild_support_counts[algorithm] += 1
-                    compressed = compressed_size_for_deflate(algorithm, deflate_len)
-                    wild_rates[algorithm].append(1.0 - compressed / uncompressed)
+    def parent_fold_for(chain: CertificateChain) -> _ParentFold:
+        parents = chain.certificates[1:]
+        # A bare id for the dominant one-parent shape (an int key can never
+        # equal a tuple key, so the two forms coexist in one dict).
+        key = id(parents[0]) if len(parents) == 1 else tuple(map(id, parents))
+        fold = parent_folds.get(key)
+        if fold is None:
+            fold = _ParentFold(parents)
+            parent_folds[key] = fold
+        return fold
 
-    # Ground-truth (population) reductions — identical batch helpers to
-    # summarize_shard, so the two cannot drift apart.
     field_size_counts: Dict[str, Dict[int, int]] = {
         name: {} for name in figure02b.FIELD_NAMES
     }
-    certificate_count = figure02b.accumulate_field_sizes(
-        (
-            certificate
-            for deployment in deployments
-            if deployment.delivered_chain is not None
-            for certificate in deployment.delivered_chain.certificates
-        ),
-        field_size_counts,
-    )
+    subject_counts = field_size_counts["Subject"]
+    issuer_counts = field_size_counts["Issuer"]
+    spki_counts = field_size_counts["PublicKeyInfo"]
+    ext_counts = field_size_counts["Extensions"]
+    sig_counts = field_size_counts["Signature"]
+    certificate_count = 0
 
     quic_chain_size_counts: Dict[int, int] = {}
-    for deployment in quic_deployments:
-        chain = deployment.delivered_chain
-        if chain is not None:
-            size = chain.total_size
-            quic_chain_size_counts[size] = quic_chain_size_counts.get(size, 0) + 1
     https_chain_size_counts: Dict[int, int] = {}
-    for deployment in https_only:
-        chain = deployment.https_chain
-        if chain is not None:
-            size = chain.total_size
-            https_chain_size_counts[size] = https_chain_size_counts.get(size, 0) + 1
-
     parent_chain_groups: Dict[str, Dict[Tuple[str, ...], figure07.ParentChainStats]] = {
         "QUIC": {},
         "HTTPS-only": {},
     }
-    parent_chain_totals = {
-        "QUIC": figure07.accumulate_groups(
-            quic_deployments, parent_chain_groups["QUIC"], task.start
-        ),
-        "HTTPS-only": figure07.accumulate_groups(
-            https_only, parent_chain_groups["HTTPS-only"], task.start
-        ),
-    }
-
+    quic_groups = parent_chain_groups["QUIC"]
+    https_groups = parent_chain_groups["HTTPS-only"]
+    quic_group_total = https_group_total = 0
     field_sums, field_counts = figure08.empty_field_sums()
-    figure08.accumulate_field_sums(quic_deployments, field_sums, field_counts)
-
+    chain_size_threshold = figure08.CHAIN_SIZE_THRESHOLD
+    small_leaf_acc = [0] * 7
+    large_leaf_acc = [0] * 7
+    small_leaf_n = large_leaf_n = 0
     key_alg_counters: Dict[Tuple[str, str, object], int] = {}
     key_alg_totals: Dict[Tuple[str, str], int] = {}
-    table02.accumulate_key_algorithms("QUIC", quic_deployments, key_alg_counters, key_alg_totals)
-    table02.accumulate_key_algorithms("HTTPS-only", https_only, key_alg_counters, key_alg_totals)
-
-    # Synthetic compression over the delivered chains, arithmetically: the
-    # ratio and both limit checks only need the payload and DEFLATE lengths.
+    quic_leaf_algs: Dict[KeyAlgorithm, int] = {}
+    https_leaf_algs: Dict[KeyAlgorithm, int] = {}
     synth_rates = array("d")
     synth_below_uncompressed = synth_below_compressed = synth_count = 0
-    for deployment in quic_deployments:
+    fig14_leaf_sizes = array("q")
+    fig14_san_shares = array("d")
+    synth_algorithm = spec.compression_algorithm
+    synth_limit = spec.limit_bytes
+    base_offset = task.start
+
+    for position, deployment in enumerate(quic_deployments):
         chain = deployment.delivered_chain
         if chain is None:
             continue
-        columns = columns_for(chain)
-        uncompressed = columns.payload_len
+        fold = parent_fold_for(chain)
+        leaf = chain.certificates[0]
+        row = field_size_row(leaf)
+        # Figure 2(b): the unique leaf now, the shared parents in the flush.
+        subject_counts[row[0]] = subject_counts.get(row[0], 0) + 1
+        issuer_counts[row[1]] = issuer_counts.get(row[1], 0) + 1
+        spki_counts[row[2]] = spki_counts.get(row[2], 0) + 1
+        ext_counts[row[3]] = ext_counts.get(row[3], 0) + 1
+        sig_counts[row[4]] = sig_counts.get(row[4], 0) + 1
+        certificate_count += 1
+        fold.delivered += 1
+        leaf_size = row[6]
+        total_size = fold.parent_total + leaf_size
+        quic_chain_size_counts[total_size] = (
+            quic_chain_size_counts.get(total_size, 0) + 1
+        )
+        # Figure 8 / Table 2, leaf halves (parents are scaled in the flush).
+        if total_size > chain_size_threshold:
+            fold.quic_large += 1
+            acc = large_leaf_acc
+            large_leaf_n += 1
+        else:
+            fold.quic_small += 1
+            acc = small_leaf_acc
+            small_leaf_n += 1
+        acc[0] += row[0]
+        acc[1] += row[1]
+        acc[2] += row[2]
+        acc[3] += row[3]
+        acc[4] += row[4]
+        acc[5] += row[5]
+        acc[6] += row[6]
+        algorithm = leaf.key_algorithm
+        quic_leaf_algs[algorithm] = quic_leaf_algs.get(algorithm, 0) + 1
+        # Figure 7: shared parent verdict plus the per-chain leaf link.
+        if fold.parents_ordered and (
+            fold.link_subject is None or leaf.issuer.encode() == fold.link_subject
+        ):
+            quic_group_total += 1
+            group_key = (
+                fold.pc_key
+                if fold.pc_key is not None
+                else (leaf.issuer.common_name or "unknown",)
+            )
+            figure07.fold_group_member(
+                quic_groups, group_key, leaf_size, base_offset + position,
+                fold.parent_sizes,
+            )
+        # Synthetic compression: ratio and both limit checks only need the
+        # payload and DEFLATE lengths (one zlib pass per chain, memoized).
+        uncompressed = chain_payload_size(chain)
         compressed = compressed_size_for_deflate(
-            spec.compression_algorithm, columns.deflate_len
+            synth_algorithm, chain_deflate_size(chain)
         )
         synth_rates.append(
             0.0 if uncompressed == 0 else 1.0 - compressed / uncompressed
         )
         synth_count += 1
-        if uncompressed <= spec.limit_bytes:
+        if uncompressed <= synth_limit:
             synth_below_uncompressed += 1
-        if compressed <= spec.limit_bytes:
+        if compressed <= synth_limit:
             synth_below_compressed += 1
+        fig14_leaf_sizes.append(leaf_size)
+        fig14_san_shares.append(san_byte_share(leaf))
 
-    fig14_leaf_sizes = array("q")
-    fig14_san_shares = array("d")
-    for deployment in quic_deployments:
+    for position, deployment in enumerate(https_only):
+        chain = deployment.delivered_chain
+        total_size = None
+        if chain is not None:
+            fold = parent_fold_for(chain)
+            leaf = chain.certificates[0]
+            row = field_size_row(leaf)
+            subject_counts[row[0]] = subject_counts.get(row[0], 0) + 1
+            issuer_counts[row[1]] = issuer_counts.get(row[1], 0) + 1
+            spki_counts[row[2]] = spki_counts.get(row[2], 0) + 1
+            ext_counts[row[3]] = ext_counts.get(row[3], 0) + 1
+            sig_counts[row[4]] = sig_counts.get(row[4], 0) + 1
+            certificate_count += 1
+            fold.delivered += 1
+            fold.https_count += 1
+            leaf_size = row[6]
+            total_size = fold.parent_total + leaf_size
+            algorithm = leaf.key_algorithm
+            https_leaf_algs[algorithm] = https_leaf_algs.get(algorithm, 0) + 1
+            if fold.parents_ordered and (
+                fold.link_subject is None
+                or leaf.issuer.encode() == fold.link_subject
+            ):
+                https_group_total += 1
+                group_key = (
+                    fold.pc_key
+                    if fold.pc_key is not None
+                    else (leaf.issuer.common_name or "unknown",)
+                )
+                figure07.fold_group_member(
+                    https_groups, group_key, leaf_size, base_offset + position,
+                    fold.parent_sizes,
+                )
+        https_chain = deployment.https_chain
+        if https_chain is not None:
+            size = total_size if https_chain is chain else https_chain.total_size
+            https_chain_size_counts[size] = https_chain_size_counts.get(size, 0) + 1
+
+    # Deployments outside the two analysed categories normally deliver no
+    # chain; when a hand-built population does, Figure 2(b) still counts it.
+    for deployment in deployments:
+        category = deployment.category
+        if category is ServiceCategory.QUIC or category is ServiceCategory.HTTPS_ONLY:
+            continue
         chain = deployment.delivered_chain
         if chain is None:
             continue
-        leaf = chain.leaf
-        fig14_leaf_sizes.append(leaf.size)
-        fig14_san_shares.append(san_byte_share(leaf))
+        fold = parent_fold_for(chain)
+        row = field_size_row(chain.certificates[0])
+        subject_counts[row[0]] = subject_counts.get(row[0], 0) + 1
+        issuer_counts[row[1]] = issuer_counts.get(row[1], 0) + 1
+        spki_counts[row[2]] = spki_counts.get(row[2], 0) + 1
+        ext_counts[row[3]] = ext_counts.get(row[3], 0) + 1
+        sig_counts[row[4]] = sig_counts.get(row[4], 0) + 1
+        certificate_count += 1
+        fold.delivered += 1
+
+    # The flush: every leaf-independent contribution, scaled by multiplicity.
+    for fold in parent_folds.values():
+        if fold.delivered:
+            certificate_count += figure02b.accumulate_row_counts(
+                (
+                    (row, count * fold.delivered)
+                    for row, count in fold.row_counts.items()
+                ),
+                field_size_counts,
+            )
+        if fold.quic_small:
+            for row, count in fold.row_counts.items():
+                figure08.accumulate_row_sums(
+                    "<=4000, Non-leaf", row, count * fold.quic_small,
+                    field_sums, field_counts,
+                )
+        if fold.quic_large:
+            for row, count in fold.row_counts.items():
+                figure08.accumulate_row_sums(
+                    ">4000, Non-leaf", row, count * fold.quic_large,
+                    field_sums, field_counts,
+                )
+        quic_chains = fold.quic_small + fold.quic_large
+        if quic_chains:
+            table02.accumulate_algorithm_counts(
+                "QUIC", "Non-leaf", fold.alg_counts, quic_chains,
+                key_alg_counters, key_alg_totals,
+            )
+        if fold.https_count:
+            table02.accumulate_algorithm_counts(
+                "HTTPS-only", "Non-leaf", fold.alg_counts, fold.https_count,
+                key_alg_counters, key_alg_totals,
+            )
+    for label, acc, leaves in (
+        ("<=4000, Leaf", small_leaf_acc, small_leaf_n),
+        (">4000, Leaf", large_leaf_acc, large_leaf_n),
+    ):
+        if leaves:
+            group_sums = field_sums[label]
+            for key, value in zip(figure08.FIELD_SUM_KEYS, acc):
+                group_sums[key] += value
+            field_counts[label] += leaves
+    table02.accumulate_algorithm_counts(
+        "QUIC", "Leaf", quic_leaf_algs, 1, key_alg_counters, key_alg_totals
+    )
+    table02.accumulate_algorithm_counts(
+        "HTTPS-only", "Leaf", https_leaf_algs, 1, key_alg_counters, key_alg_totals
+    )
+
+    parent_chain_totals = {
+        "QUIC": quic_group_total,
+        "HTTPS-only": https_group_total,
+    }
 
     spoof_candidates = take_per_provider(
         quic_deployments, spec.spoof_limit_per_provider, spec.spoof_providers
@@ -823,12 +1064,12 @@ def summarize_shard_columnar(
         comparison_identical=comparison_identical,
         wild_count=wild_count,
         wild_all_three=wild_all_three,
-        wild_support_counts=wild_support_counts,
+        wild_support_counts={
+            algorithm: len(rates) for algorithm, rates in wild_rates.items()
+        },
         wild_rates=wild_rates,
         start_rank=deployments[0].rank if deployments else task.start + 1,
-        category_codes=bytes(
-            figure12.CATEGORY_CODES[deployment.category] for deployment in deployments
-        ),
+        category_codes=bytes(category_codes),
         field_size_counts=field_size_counts,
         certificate_count=certificate_count,
         quic_chain_size_counts=quic_chain_size_counts,

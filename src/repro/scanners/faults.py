@@ -66,10 +66,16 @@ class WorkerFault:
 
 @dataclass(frozen=True)
 class CheckpointFault:
-    """One scripted post-checkpoint failure, keyed by shard index."""
+    """One scripted post-checkpoint failure, keyed by shard index.
+
+    ``attempt`` optionally narrows the fault to the checkpoint written by one
+    specific retry attempt; ``None`` (the default, and the legacy JSON shape)
+    fires on every attempt's checkpoint.
+    """
 
     shard: int
     kind: str
+    attempt: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in CHECKPOINT_FAULT_KINDS:
@@ -143,16 +149,20 @@ class FaultPlan:
         if fault.kind == "stall":
             time.sleep(fault.stall_seconds)
 
-    def apply_checkpoint_faults(self, shard: int, path: str) -> None:
+    def apply_checkpoint_faults(self, shard: int, path: str, attempt: int = 0) -> None:
         """Execute the scripted post-checkpoint faults for ``shard``.
 
         Runs in the parent right after the shard's checkpoint is persisted:
         ``corrupt``/``truncate`` damage the file on disk (a later ``--resume``
         must detect, quarantine and re-scan), ``kill-run`` SIGKILLs the whole
         process mid-campaign, leaving the directory exactly as a crash would.
+        ``attempt`` is the retry attempt whose checkpoint just landed; faults
+        carrying an attempt key only fire when it matches.
         """
         for fault in self.checkpoint:
             if fault.shard != shard:
+                continue
+            if fault.attempt is not None and fault.attempt != attempt:
                 continue
             if fault.kind == "corrupt":
                 corrupt_file(path)
@@ -176,6 +186,8 @@ class FaultPlan:
             ],
             "checkpoint": [
                 {"shard": fault.shard, "kind": fault.kind}
+                if fault.attempt is None
+                else {"shard": fault.shard, "kind": fault.kind, "attempt": fault.attempt}
                 for fault in self.checkpoint
             ],
         }
@@ -203,7 +215,15 @@ class FaultPlan:
                 for entry in payload.get("worker", ())
             )
             checkpoint = tuple(
-                CheckpointFault(shard=int(entry["shard"]), kind=str(entry["kind"]))
+                CheckpointFault(
+                    shard=int(entry["shard"]),
+                    kind=str(entry["kind"]),
+                    attempt=(
+                        int(entry["attempt"])
+                        if entry.get("attempt") is not None
+                        else None
+                    ),
+                )
                 for entry in payload.get("checkpoint", ())
             )
         except (KeyError, TypeError, ValueError) as error:

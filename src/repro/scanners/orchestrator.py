@@ -407,7 +407,7 @@ class MeasurementCampaign:
         def make_payload(index: int, attempt: int):
             return (tasks_by_index[index], spec, attempt, self.fault_plan)
 
-        def on_result(index: int, summary) -> None:
+        def on_result(index: int, summary, attempt: int = 0) -> None:
             reducer.add(summary)
 
         dispatch_with_retry(

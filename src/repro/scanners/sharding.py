@@ -27,7 +27,8 @@ from __future__ import annotations
 
 import multiprocessing
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -449,26 +450,31 @@ def dispatch_with_retry(
     worker_fn: Callable[[object], object],
     workers: int,
     policy: Optional[RetryPolicy],
-    on_result: Callable[[int, object], None],
+    on_result: Callable[[int, object, int], None],
     mp_context=None,
 ) -> None:
     """Run ``worker_fn`` over one payload per shard index, retrying failures.
 
     The durability core of both runners: each shard is dispatched up to
     ``policy.max_attempts`` times (``make_payload(index, attempt)`` builds the
-    payload, so workers can know the attempt number), and ``on_result`` is
-    called exactly once per shard, in completion order — downstream folding
-    must therefore be order-insensitive, which ``CampaignReducer`` guarantees
-    by construction.
+    payload, so workers can know the attempt number), and
+    ``on_result(index, result, attempt)`` is called exactly once per shard, in
+    completion order — downstream folding must therefore be order-insensitive,
+    which ``CampaignReducer`` guarantees by construction.  The attempt number
+    lets checkpoint writers stay last-write-safe across retries.
 
     Failure containment, multi-process mode:
 
     * a worker exception fails only its own shard for that round;
     * a ``BrokenProcessPool`` (worker killed, OOM) fails every shard not yet
       collected, and the next round starts on a *fresh* pool;
-    * a shard exceeding ``policy.shard_timeout`` is abandoned (the pool is
-      discarded; a stalled worker process drains in the background) and
-      re-dispatched on the fresh pool.
+    * shards exceeding ``policy.shard_timeout`` are abandoned together under
+      one shared, progress-renewed deadline: the round waits in completion
+      order (``concurrent.futures.wait``) and every completion renews the
+      deadline, so K simultaneously stalled shards cost *one* timeout window
+      — not K windows in series — before the pool is discarded (the stalled
+      worker processes drain in the background) and the shards are
+      re-dispatched on a fresh pool.
 
     Retries cannot change bytes: every shard result is a pure function of its
     task, so a rerun merges identically.  When shards still fail after the
@@ -492,31 +498,62 @@ def dispatch_with_retry(
                     last_errors[index] = error
                 else:
                     completed.append(index)
-                    on_result(index, result)
+                    on_result(index, result, pending[index])
         else:
             pool = ProcessPoolExecutor(
                 max_workers=min(workers, len(pending)), mp_context=mp_context
             )
             try:
                 futures = {
-                    index: pool.submit(
-                        worker_fn, make_payload(index, attempt)
-                    )
+                    pool.submit(worker_fn, make_payload(index, attempt)): index
                     for index, attempt in sorted(pending.items())
                 }
-                for index, future in futures.items():
-                    try:
-                        result = future.result(timeout=policy.shard_timeout)
-                    except Exception as error:
-                        # Worker exception, BrokenProcessPool, or timeout —
-                        # each fails this shard for this round only.  A
-                        # broken pool fails all uncollected futures instantly,
-                        # so the loop drains without re-waiting timeouts.
-                        failed.append(index)
-                        last_errors[index] = error
-                    else:
-                        completed.append(index)
-                        on_result(index, result)
+                outstanding = set(futures)
+                deadline = (
+                    None
+                    if policy.shard_timeout is None
+                    else time.monotonic() + policy.shard_timeout
+                )
+                while outstanding:
+                    remaining = (
+                        None if deadline is None else deadline - time.monotonic()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        # No progress for a full timeout window: everything
+                        # still outstanding is stalled.  Fail the whole set at
+                        # once — the serial per-future wait this replaces
+                        # burned K windows for K stalled shards.
+                        for future in outstanding:
+                            index = futures[future]
+                            failed.append(index)
+                            last_errors[index] = FutureTimeoutError(
+                                f"shard {index} exceeded the shard timeout of "
+                                f"{policy.shard_timeout}s with no round progress"
+                            )
+                        break
+                    done, outstanding = wait(
+                        outstanding, timeout=remaining, return_when=FIRST_COMPLETED
+                    )
+                    if not done:
+                        continue  # next pass observes the expired deadline
+                    for future in done:
+                        index = futures[future]
+                        try:
+                            result = future.result()
+                        except Exception as error:
+                            # Worker exception or BrokenProcessPool — each
+                            # fails this shard for this round only.  A broken
+                            # pool completes all uncollected futures at once,
+                            # so the loop drains without re-waiting.
+                            failed.append(index)
+                            last_errors[index] = error
+                        else:
+                            completed.append(index)
+                            on_result(index, result, pending[index])
+                    if deadline is not None:
+                        # Progress renews the shared deadline: a round times
+                        # out only after shard_timeout seconds of silence.
+                        deadline = time.monotonic() + policy.shard_timeout
             finally:
                 # Never wait: a stalled or dead pool must not block recovery.
                 # Timed-out tasks may still be running; their results are
@@ -696,7 +733,7 @@ def run_sharded_scan(
     tasks_by_index = {task.index: task for task in tasks}
     partials_by_index: Dict[int, ShardScanResult] = {}
 
-    def on_result(index: int, partial: ShardScanResult) -> None:
+    def on_result(index: int, partial: ShardScanResult, attempt: int = 0) -> None:
         partials_by_index[index] = partial
 
     def make_payload(index: int, attempt: int) -> ShardTask:

@@ -1114,13 +1114,15 @@ def run_streaming_scan(
     def make_payload(index: int, attempt: int):
         return (tasks_by_index[index], spec, attempt, fault_plan)
 
-    def on_result(index: int, summary: ShardSummary) -> None:
+    def on_result(index: int, summary: ShardSummary, attempt: int = 0) -> None:
         if store is not None:
             path = store.save(
-                CheckpointKey.for_campaign(config, shard_size, index), summary
+                CheckpointKey.for_campaign(config, shard_size, index),
+                summary,
+                attempt=attempt,
             )
             if fault_plan is not None:
-                fault_plan.apply_checkpoint_faults(index, path)
+                fault_plan.apply_checkpoint_faults(index, path, attempt)
         reducer.add(summary)
 
     try:

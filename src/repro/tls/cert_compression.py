@@ -76,16 +76,18 @@ def deflate_size(payload: bytes) -> int:
     return len(zlib.compress(payload, level=9))
 
 
+_DEFLATE_FACTORS = {
+    CertificateCompressionAlgorithm.ZLIB: _ZLIB_VS_DEFLATE,
+    CertificateCompressionAlgorithm.BROTLI: _BROTLI_VS_DEFLATE,
+    CertificateCompressionAlgorithm.ZSTD: _ZSTD_VS_DEFLATE,
+}
+
+
 def compressed_size_for_deflate(
     algorithm: CertificateCompressionAlgorithm, deflate_length: int
 ) -> int:
     """Modelled RFC 8879 output size given a measured raw-DEFLATE size."""
-    factor = {
-        CertificateCompressionAlgorithm.ZLIB: _ZLIB_VS_DEFLATE,
-        CertificateCompressionAlgorithm.BROTLI: _BROTLI_VS_DEFLATE,
-        CertificateCompressionAlgorithm.ZSTD: _ZSTD_VS_DEFLATE,
-    }[algorithm]
-    return max(1, int(round(deflate_length * factor)))
+    return max(1, int(round(deflate_length * _DEFLATE_FACTORS[algorithm])))
 
 
 @dataclass(frozen=True)
@@ -112,6 +114,35 @@ class CompressionResult:
 
     def fits_within(self, byte_limit: int) -> bool:
         return self.compressed_size <= byte_limit
+
+
+def chain_payload_size(chain) -> int:
+    """Length of :func:`chain_payload` for a certificate chain, arithmetically.
+
+    3-byte list prefix plus, per certificate, a 3-byte length, the DER bytes
+    and a 2-byte empty extensions field.  Memoized on the (frozen) chain
+    instance; accepts any object with a ``certificates`` tuple, so the x509
+    layer needs no import from here.
+    """
+    cached = getattr(chain, "_payload_size", None)
+    if cached is None:
+        cached = 3 + sum(len(cert.der) + 5 for cert in chain.certificates)
+        object.__setattr__(chain, "_payload_size", cached)
+    return cached
+
+
+def chain_deflate_size(chain) -> int:
+    """Raw-DEFLATE size of a chain's TLS payload, memoized on the chain.
+
+    The zlib pass is the one genuinely expensive step of the compression
+    model; every consumer of the same chain instance — negotiated flights,
+    the in-the-wild scan, the synthetic reduction — shares one measurement.
+    """
+    cached = getattr(chain, "_deflate_size", None)
+    if cached is None:
+        cached = deflate_size(chain_payload(cert.der for cert in chain.certificates))
+        object.__setattr__(chain, "_deflate_size", cached)
+    return cached
 
 
 def chain_payload(der_certificates: Iterable[bytes]) -> bytes:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import IntEnum
-from functools import cached_property
+from ..caching import cached_property  # lock-free (see repro.caching)
 from typing import Optional, Sequence, Tuple
 
 from ..x509.chain import CertificateChain

@@ -297,6 +297,11 @@ class SkeletonShard:
     def materialize(self, hierarchy=None) -> PopulationShard:
         """Phase 2: issue every recorded chain and return the full shard."""
         hierarchy = hierarchy or default_hierarchy()
+        # The Meta PoP chains are population data too: issue them with the
+        # rest of the certificates (memoized process-wide) so the finalize
+        # stage, which probes the PoP on every campaign, never pays issuance
+        # mid-reduction.
+        _meta_pop_chain_rows()
         return PopulationShard(
             index=self.index,
             start_rank=self.start_rank,
@@ -648,6 +653,36 @@ def meta_domain_for_octet(octet: int) -> str:
     return "facebook.com" if octet % 3 else "fbcdn.net"
 
 
+#: Memoized (octet, domain, chain) rows of the Meta /24 — the chains are
+#: seed-derived and immutable, so the one expensive part of rebuilding the PoP
+#: (issuing ~70 wide-SAN leaves) is paid once per process.  Host objects are
+#: still constructed fresh per call: ``UdpNetwork.attach_host`` mutates the
+#: host's flight-cache binding, so instances must not be shared.
+_META_POP_CHAIN_ROWS: Optional[List[Tuple[int, str, CertificateChain]]] = None
+
+
+def _meta_pop_chain_rows() -> List[Tuple[int, str, CertificateChain]]:
+    global _META_POP_CHAIN_ROWS
+    if _META_POP_CHAIN_ROWS is None:
+        hierarchy = default_hierarchy()
+        meta_profile = hierarchy.profiles["DigiCert SHA2 + root (Meta)"]
+        rng = random.Random("meta-pop")
+        rows: List[Tuple[int, str, CertificateChain]] = []
+        for octet in META_POP_HOST_OCTETS:
+            if octet in META_NO_SERVICE_OCTETS:
+                continue
+            domain = meta_domain_for_octet(octet)
+            san_count = rng.randint(45, 90)
+            chain = meta_profile.issue(
+                domain,
+                san_names=_san_names(rng, domain, san_count),
+                key_algorithm=KeyAlgorithm.ECDSA_P256,
+            )
+            rows.append((octet, domain, chain))
+        _META_POP_CHAIN_ROWS = rows
+    return _META_POP_CHAIN_ROWS
+
+
 def build_meta_point_of_presence(
     patched: bool = False,
     prefix: IPv4Prefix = IPv4Prefix.parse("157.240.20.0/24"),
@@ -659,20 +694,8 @@ def build_meta_point_of_presence(
     facebook.com hosts send it once (≈5×).  After the disclosure all hosts
     behave homogeneously with a single flight (mean ≈5×).
     """
-    hierarchy = default_hierarchy()
-    meta_profile = hierarchy.profiles["DigiCert SHA2 + root (Meta)"]
     hosts: List[QuicServiceHost] = []
-    rng = random.Random("meta-pop")
-    for octet in META_POP_HOST_OCTETS:
-        if octet in META_NO_SERVICE_OCTETS:
-            continue
-        domain = meta_domain_for_octet(octet)
-        san_count = rng.randint(45, 90)
-        chain = meta_profile.issue(
-            domain,
-            san_names=_san_names(rng, domain, san_count),
-            key_algorithm=KeyAlgorithm.ECDSA_P256,
-        )
+    for octet, domain, chain in _meta_pop_chain_rows():
         if patched:
             profile = MVFST_PATCHED
         elif octet in META_HIGH_AMPLIFICATION_OCTETS:

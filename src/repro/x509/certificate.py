@@ -121,15 +121,19 @@ class CertificateBuilder:
         signature_algorithm = self.signature_algorithm or SignatureAlgorithm.for_signer(self.issuer_key)
         algorithm_der = signature_algorithm.encode_algorithm_identifier()
 
+        extensions = tuple(self.extensions)
+        subject_der = self.subject.encode()
+        issuer_der = self.issuer.encode()
+        spki_der = self.public_key.spki_der()
         tbs = encode_sequence(
             encode_explicit(0, encode_integer(2)),  # version v3
             encode_integer(self.serial_number),
             algorithm_der,
-            self.issuer.encode(),
+            issuer_der,
             self.validity.encode(),
-            self.subject.encode(),
-            self.public_key.spki_der(),
-            encode_extensions(tuple(self.extensions)),
+            subject_der,
+            spki_der,
+            encode_extensions(extensions),
         )
         signature = self.issuer_key.sign(tbs, signature_algorithm)
         der = encode_sequence(tbs, algorithm_der, encode_bit_string(signature))
@@ -140,13 +144,34 @@ class CertificateBuilder:
             signature_algorithm=signature_algorithm,
             serial_number=self.serial_number,
             validity=self.validity,
-            extensions=tuple(self.extensions),
+            extensions=extensions,
             is_ca=self.is_ca,
             der=der,
             tbs_der=tbs,
             signature_value=signature,
         )
         object.__setattr__(certificate, "_san_names", tuple(self.san_names))
+        # Every component encoding is in hand right here, so the per-field
+        # accounting (paper Figures 2b/8) is a handful of len() calls instead
+        # of a re-walk of the structured fields at measurement time (see
+        # repro.x509.field_sizes, which reads this row back as its memo).
+        ext_total = sum(len(ext.encode()) for ext in extensions)
+        accounted = (
+            len(subject_der) + len(issuer_der) + len(spki_der) + ext_total + len(signature)
+        )
+        object.__setattr__(
+            certificate,
+            "_field_size_row",
+            (
+                len(subject_der),
+                len(issuer_der),
+                len(spki_der),
+                ext_total,
+                len(signature),
+                max(len(der) - accounted, 0),
+                len(der),
+            ),
+        )
         return certificate
 
 

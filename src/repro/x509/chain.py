@@ -9,7 +9,7 @@ cross-signed certificates — all of which this module can represent and detect.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import cached_property
+from ..caching import cached_property  # lock-free (see repro.caching)
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from .certificate import Certificate
@@ -17,6 +17,41 @@ from .certificate import Certificate
 
 class ChainOrderError(ValueError):
     """Raised when an operation requires a correctly ordered chain."""
+
+
+def certificates_correctly_ordered(certificates: Sequence[Certificate]) -> bool:
+    """True when each certificate is issued by the next one in the list.
+
+    Module-level so the columnar scan backend can check the shared non-leaf
+    suffix of a chain once per distinct parent tuple and reuse the verdict
+    across every chain delivering it (the leaf link is checked separately).
+    """
+    for child, parent in zip(certificates, certificates[1:]):
+        if child.issuer.encode() != parent.subject.encode():
+            return False
+    return True
+
+
+def parent_chain_labels(non_leaf: Sequence[Certificate]) -> List[str]:
+    """The Figure 7 labels of a chain's non-leaf certificates (leaf-to-root).
+
+    Pure function of the non-leaf suffix — :meth:`CertificateChain.
+    parent_chain_key` adds the leaf-issuer fallback for leaf-only chains.
+    Extracting it lets the columnar backend compute the labels once per
+    distinct parent tuple instead of once per chain.
+    """
+    labels: List[str] = []
+    for index, cert in enumerate(non_leaf):
+        label = cert.subject.common_name or cert.subject.organization or "unknown"
+        issued_by_later = any(
+            cert.issuer.encode() == later.subject.encode() for later in non_leaf[index + 1 :]
+        )
+        if not cert.is_self_signed and not issued_by_later and index == len(non_leaf) - 1:
+            issuer_label = cert.issuer.common_name or cert.issuer.organization or "unknown"
+            if issuer_label != label and index > 0:
+                label = f"{label} (cross-signed)"
+        labels.append(label)
+    return labels
 
 
 @dataclass(frozen=True)
@@ -87,10 +122,7 @@ class CertificateChain:
 
     def is_correctly_ordered(self) -> bool:
         """True when each certificate is issued by the next one in the list."""
-        for child, parent in zip(self.certificates, self.certificates[1:]):
-            if child.issuer.encode() != parent.subject.encode():
-                return False
-        return True
+        return certificates_correctly_ordered(self.certificates)
 
     def includes_trust_anchor(self) -> bool:
         """True when the server superfluously ships a self-signed root."""
@@ -129,18 +161,7 @@ class CertificateChain:
         cross-signed ISRG Root X1 groups separately from the one shipping the
         self-signed root — the paper's Figure 7 distinguishes these rows.
         """
-        labels: List[str] = []
-        non_leaf = self.certificates[1:]
-        for index, cert in enumerate(non_leaf):
-            label = cert.subject.common_name or cert.subject.organization or "unknown"
-            issued_by_later = any(
-                cert.issuer.encode() == later.subject.encode() for later in non_leaf[index + 1 :]
-            )
-            if not cert.is_self_signed and not issued_by_later and index == len(non_leaf) - 1:
-                issuer_label = cert.issuer.common_name or cert.issuer.organization or "unknown"
-                if issuer_label != label and index > 0:
-                    label = f"{label} (cross-signed)"
-            labels.append(label)
+        labels = parent_chain_labels(self.certificates[1:])
         if not labels:
             labels.append(self.leaf.issuer.common_name or "unknown")
         return tuple(labels)

@@ -63,38 +63,71 @@ def measure_field_sizes(certificate: Certificate) -> CertificateFieldSizes:
     cached = getattr(certificate, "_field_sizes", None)
     if cached is not None:
         return cached
-    subject = certificate.subject.encoded_size()
-    issuer = certificate.issuer.encoded_size()
-    spki = len(certificate.public_key.spki_der())
-    extensions = sum(ext.encoded_size() for ext in certificate.extensions)
-    # The signature appears once as the signatureValue BIT STRING; the
-    # signatureAlgorithm appears twice (in and outside the TBS) but is small
-    # and lands in "other" along with serial, version, validity and framing.
-    signature = len(certificate.signature_value)
-    accounted = subject + issuer + spki + extensions + signature
-    other = max(certificate.size - accounted, 0)
-    sizes = CertificateFieldSizes(
-        subject=subject,
-        issuer=issuer,
-        public_key_info=spki,
-        extensions=extensions,
-        signature=signature,
-        other=other,
-        total=certificate.size,
-    )
+    row = getattr(certificate, "_field_size_row", None)
+    if row is None:
+        subject = certificate.subject.encoded_size()
+        issuer = certificate.issuer.encoded_size()
+        spki = len(certificate.public_key.spki_der())
+        extensions = sum(ext.encoded_size() for ext in certificate.extensions)
+        # The signature appears once as the signatureValue BIT STRING; the
+        # signatureAlgorithm appears twice (in and outside the TBS) but is
+        # small and lands in "other" with serial, version, validity, framing.
+        signature = len(certificate.signature_value)
+        accounted = subject + issuer + spki + extensions + signature
+        row = (
+            subject,
+            issuer,
+            spki,
+            extensions,
+            signature,
+            max(certificate.size - accounted, 0),
+            certificate.size,
+        )
+        object.__setattr__(certificate, "_field_size_row", row)
+    sizes = CertificateFieldSizes(*row)
     object.__setattr__(certificate, "_field_sizes", sizes)
     return sizes
+
+
+#: Order of :func:`field_size_row` entries; the first five match
+#: ``figure02b.FIELD_NAMES``, the full seven match ``figure08.FIELD_SUM_KEYS``.
+FIELD_ROW_KEYS = (
+    "subject", "issuer", "public_key_info", "extensions", "signature", "other", "total",
+)
+
+
+def field_size_row(certificate: Certificate) -> tuple:
+    """The measured field sizes as a plain tuple, memoized on the certificate.
+
+    Batch entry point for the columnar fold kernels: a shared CA certificate
+    appears in thousands of chains per shard, and the whole-shard folds scale
+    one row by the certificate's multiplicity instead of re-reading dataclass
+    attributes per occurrence.  Row order is :data:`FIELD_ROW_KEYS`.
+    """
+    cached = getattr(certificate, "_field_size_row", None)
+    if cached is None:
+        measure_field_sizes(certificate)  # computes and memoizes the row
+        cached = certificate._field_size_row
+    return cached
 
 
 def san_byte_share(certificate: Certificate) -> float:
     """Fraction of the certificate's bytes used by the subjectAltName extension.
 
     Used by the cruise-liner analysis (paper Figure 14 / Appendix E).
+    Memoized on the certificate instance: the figure-14 fold revisits the
+    same leaf once per delivering deployment.
     """
+    cached = getattr(certificate, "_san_share", None)
+    if cached is not None:
+        return cached
     san = certificate.extension(OID.SUBJECT_ALT_NAME.dotted)
     if san is None or certificate.size == 0:
-        return 0.0
-    return san.encoded_size() / certificate.size
+        share = 0.0
+    else:
+        share = san.encoded_size() / certificate.size
+    object.__setattr__(certificate, "_san_share", share)
+    return share
 
 
 def mean_field_sizes(certificates: Iterable[Certificate]) -> CertificateFieldSizes:

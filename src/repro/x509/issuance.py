@@ -168,14 +168,16 @@ def issue_leaf_fast(
     )
     extensions_der = encode_tlv(0xA3, encode_tlv(Tag.SEQUENCE, extensions_content))
 
+    subject_der = subject.encode()
+    spki_der = key.spki_der()
     tbs = encode_sequence(
         _VERSION_DER,
         encode_integer(serial_number),
         template.algorithm_der,
         template.issuer_subject_der,
         validity_der,
-        subject.encode(),
-        key.spki_der(),
+        subject_der,
+        spki_der,
         extensions_der,
     )
     signature = template.issuer_key.sign(tbs, template.signature_algorithm)
@@ -204,4 +206,28 @@ def issue_leaf_fast(
         signature_value=signature,
     )
     object.__setattr__(certificate, "_san_names", tuple(san_names))
+    # Per-field accounting while every component encoding is in hand:
+    # ``extensions_content`` is exactly the concatenation of the nine
+    # extensions' encodings, so its length is their encoded-size sum (see
+    # repro.x509.field_sizes, which reads this row back as its memo).
+    accounted = (
+        len(subject_der)
+        + len(template.issuer_subject_der)
+        + len(spki_der)
+        + len(extensions_content)
+        + len(signature)
+    )
+    object.__setattr__(
+        certificate,
+        "_field_size_row",
+        (
+            len(subject_der),
+            len(template.issuer_subject_der),
+            len(spki_der),
+            len(extensions_content),
+            len(signature),
+            max(len(der) - accounted, 0),
+            len(der),
+        ),
+    )
     return certificate

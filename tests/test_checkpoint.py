@@ -190,6 +190,50 @@ class TestQuarantine:
         assert len(os.listdir(store.quarantine_directory)) == 2
 
 
+class TestAttemptAwareSaves:
+    """The late-writer guard: a timed-out attempt's result surfacing after its
+    retry already checkpointed must never clobber the newer bytes."""
+
+    def _key(self, config):
+        return CheckpointKey.for_campaign(config, SHARD_SIZE, 0)
+
+    def test_stale_attempt_write_is_suppressed(self, config, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        key = self._key(config)
+        retry = SimpleNamespace(index=0, scenario_fingerprint="f" * 64, origin="retry")
+        late = SimpleNamespace(index=0, scenario_fingerprint="f" * 64, origin="late")
+        path = store.save(key, retry, attempt=1)
+        persisted = open(path, "rb").read()
+        # The stalled attempt-0 writer lands afterwards: skipped, same path.
+        assert store.save(key, late, attempt=0) == path
+        assert open(path, "rb").read() == persisted
+
+    def test_equal_and_newer_attempts_overwrite(self, config, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        key = self._key(config)
+        path = store.save(
+            key, SimpleNamespace(index=0, scenario_fingerprint="a" * 64), attempt=0
+        )
+        first = open(path, "rb").read()
+        store.save(
+            key, SimpleNamespace(index=0, scenario_fingerprint="b" * 64), attempt=0
+        )
+        second = open(path, "rb").read()
+        assert second != first  # same attempt: deterministic rewrite is fine
+        store.save(
+            key, SimpleNamespace(index=0, scenario_fingerprint="c" * 64), attempt=2
+        )
+        assert open(path, "rb").read() != second
+
+    def test_suppression_is_per_file_not_per_store(self, config, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.save(self._key(config), SimpleNamespace(index=0), attempt=3)
+        other = CheckpointKey.for_campaign(config, SHARD_SIZE, 1)
+        payload = SimpleNamespace(index=1, scenario_fingerprint="d" * 64)
+        path = store.save(other, payload, attempt=0)
+        assert decode_checkpoint(open(path, "rb").read()).index == 1
+
+
 class TestCampaignBinding:
     def test_mixed_campaign_directory_is_rejected(self, config, tmp_path):
         store = CheckpointStore(str(tmp_path))

@@ -16,6 +16,7 @@ import json
 import os
 import subprocess
 import sys
+import time
 
 import pytest
 
@@ -32,7 +33,11 @@ from repro.scanners.faults import (
     WorkerFault,
     load_fault_plan,
 )
-from repro.scanners.sharding import RetryPolicy, ShardDispatchError
+from repro.scanners.sharding import (
+    RetryPolicy,
+    ShardDispatchError,
+    dispatch_with_retry,
+)
 from repro.webpki.population import PopulationConfig
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -143,6 +148,79 @@ class TestWorkerFaultRecovery:
         results = _run(config, workers=2, retry_policy=policy, fault_plan=plan)
         assert build_report(results).text == reference
 
+    def test_three_stalled_shards_share_one_timeout_window(self, config, reference):
+        """The regression the shared deadline fixes: K simultaneous stalls used
+        to serialise into K full timeout windows; now the round abandons all
+        of them together after ~one window, and the retries still land on the
+        reference bytes."""
+        plan = FaultPlan(
+            worker=tuple(
+                WorkerFault(shard=shard, attempt=0, kind="stall", stall_seconds=30.0)
+                for shard in (0, 1, 2)
+            )
+        )
+        policy = RetryPolicy(
+            max_attempts=3, shard_timeout=2.5, backoff_base=0.01, backoff_cap=0.02
+        )
+        start = time.monotonic()
+        results = _run(config, workers=4, retry_policy=policy, fault_plan=plan)
+        elapsed = time.monotonic() - start
+        assert build_report(results).text == reference
+        # One shared window (2.5s) + scan work; the serial accumulation bug
+        # would burn >= 3 windows (7.5s) before the first retry even starts.
+        assert elapsed < 6.0, f"round took {elapsed:.1f}s — timeout windows serialised?"
+
+
+#: Process-pool workers must be picklable, hence module level: sleep for the
+#: scripted duration, then return the shard index.
+def _sleep_worker(payload):
+    index, seconds = payload
+    time.sleep(seconds)
+    return index
+
+
+class TestSharedTimeoutWindow:
+    """Unit-level pin on the dispatcher itself, free of scan-work noise."""
+
+    STALLED = frozenset({0, 2, 4})
+    TIMEOUT = 1.5
+
+    def test_simultaneous_stalls_cost_one_window_not_k(self):
+        policy = RetryPolicy(
+            max_attempts=2,
+            shard_timeout=self.TIMEOUT,
+            backoff_base=0.01,
+            backoff_cap=0.02,
+        )
+        collected = {}
+
+        def make_payload(index, attempt):
+            stalled = attempt == 0 and index in self.STALLED
+            return (index, 30.0 if stalled else 0.0)
+
+        start = time.monotonic()
+        dispatch_with_retry(
+            list(range(6)),
+            make_payload,
+            _sleep_worker,
+            workers=6,
+            policy=policy,
+            on_result=lambda index, result, attempt: collected.__setitem__(
+                index, (result, attempt)
+            ),
+        )
+        elapsed = time.monotonic() - start
+        # Every shard completed exactly once; the stalled three on attempt 1.
+        assert collected == {
+            index: (index, 1 if index in self.STALLED else 0) for index in range(6)
+        }
+        # One shared window plus pool spin-up; the serial per-future wait this
+        # pins against needed >= 3 * TIMEOUT = 4.5s of timeouts alone.
+        assert elapsed < 3 * self.TIMEOUT, (
+            f"dispatch took {elapsed:.1f}s for 3 stalls at a {self.TIMEOUT}s "
+            "timeout — windows serialised?"
+        )
+
 
 class TestResume:
     def test_resume_dispatches_only_missing_shards(
@@ -203,6 +281,85 @@ class TestResume:
         assert len(quarantined) == 1
         assert quarantined[0].startswith("shard-000002-")
 
+    def test_stall_then_resume_is_byte_identical(self, config, reference, tmp_path):
+        """A timed-out attempt whose retry checkpointed must leave a directory
+        that resumes byte-identically — the late-writer race fixed by
+        attempt-aware saves."""
+        plan = FaultPlan(
+            worker=(WorkerFault(shard=1, attempt=0, kind="stall", stall_seconds=30.0),)
+        )
+        policy = RetryPolicy(
+            max_attempts=3, shard_timeout=1.0, backoff_base=0.01, backoff_cap=0.02
+        )
+        results = _run(
+            config,
+            workers=2,
+            retry_policy=policy,
+            fault_plan=plan,
+            checkpoint_dir=str(tmp_path),
+        )
+        assert build_report(results).text == reference
+        resumed = _run(config, checkpoint_dir=str(tmp_path), resume=True)
+        assert build_report(resumed).text == reference
+        # All four shards checkpointed — shard 1 by its retry attempt.
+        store = CheckpointStore(str(tmp_path))
+        for index in range(4):
+            key = CheckpointKey.for_campaign(config, SHARD_SIZE, index)
+            assert store.load(key) is not None
+
+    def test_checkpoint_fault_keyed_to_retry_attempt_fires_only_then(
+        self, config, reference, tmp_path
+    ):
+        """``attempt=1`` narrows the corruption to the retry's checkpoint: the
+        resume must quarantine exactly that shard and re-scan it."""
+        plan = FaultPlan(
+            worker=(WorkerFault(shard=2, attempt=0, kind="raise"),),
+            checkpoint=(CheckpointFault(shard=2, kind="corrupt", attempt=1),),
+        )
+        first = _run(
+            config,
+            retry_policy=FAST_RETRIES,
+            fault_plan=plan,
+            checkpoint_dir=str(tmp_path),
+        )
+        assert build_report(first).text == reference
+        resumed = _run(config, checkpoint_dir=str(tmp_path), resume=True)
+        assert build_report(resumed).text == reference
+        quarantined = os.listdir(tmp_path / "quarantine")
+        assert len(quarantined) == 1
+        assert quarantined[0].startswith("shard-000002-")
+
+    def test_checkpoint_fault_keyed_to_a_missed_attempt_never_fires(
+        self, config, reference, tmp_path, monkeypatch
+    ):
+        """Shard 2's attempt 0 raises before checkpointing, so a fault keyed
+        to attempt 0 has nothing to damage: the retry's checkpoint stays
+        valid and the resume dispatches nothing."""
+        plan = FaultPlan(
+            worker=(WorkerFault(shard=2, attempt=0, kind="raise"),),
+            checkpoint=(CheckpointFault(shard=2, kind="corrupt", attempt=0),),
+        )
+        first = _run(
+            config,
+            retry_policy=FAST_RETRIES,
+            fault_plan=plan,
+            checkpoint_dir=str(tmp_path),
+        )
+        assert build_report(first).text == reference
+
+        dispatched = []
+        original = streaming.dispatch_with_retry
+
+        def spy(indices, *args, **kwargs):
+            dispatched.append(list(indices))
+            return original(indices, *args, **kwargs)
+
+        monkeypatch.setattr(streaming, "dispatch_with_retry", spy)
+        resumed = _run(config, checkpoint_dir=str(tmp_path), resume=True)
+        assert dispatched == [[]]
+        assert build_report(resumed).text == reference
+        assert not os.path.exists(tmp_path / "quarantine")
+
     def test_exports_after_faulted_resume_are_byte_identical(
         self, config, tmp_path
     ):
@@ -238,8 +395,30 @@ class TestFaultPlanSerialisation:
         checkpoint=(CheckpointFault(shard=0, kind="corrupt"),),
     )
 
+    #: Same plan, with a checkpoint fault narrowed to one retry attempt.
+    ATTEMPT_KEYED_PLAN = FaultPlan(
+        checkpoint=(
+            CheckpointFault(shard=0, kind="corrupt"),
+            CheckpointFault(shard=1, kind="truncate", attempt=2),
+        ),
+    )
+
     def test_json_round_trip(self):
         assert FaultPlan.from_json(self.PLAN.to_json()) == self.PLAN
+
+    def test_attempt_keyed_checkpoint_fault_round_trips(self):
+        plan = self.ATTEMPT_KEYED_PLAN
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored.checkpoint[0].attempt is None
+        assert restored.checkpoint[1].attempt == 2
+
+    def test_attempt_key_is_omitted_from_json_when_unset(self):
+        """The legacy JSON shape (no ``attempt`` key) stays stable: only
+        faults that carry an attempt serialise one."""
+        entries = self.ATTEMPT_KEYED_PLAN.to_dict()["checkpoint"]
+        assert "attempt" not in entries[0]
+        assert entries[1]["attempt"] == 2
 
     def test_env_arming_with_inline_json(self, monkeypatch):
         monkeypatch.setenv(FAULT_PLAN_ENV, self.PLAN.to_json())

@@ -279,6 +279,8 @@ def test_campaign_reduction_rejects_duplicate_shards():
 # These properties pin that arithmetic to the object model it mirrors, for
 # randomized single-deployment inputs and for degenerate whole shards.
 
+from dataclasses import replace
+
 import pytest
 
 from repro.quic.client import QuicClientConfig
@@ -408,6 +410,26 @@ def _edge_shard_deployments():
     deployments = tuple(
         generate_population(PopulationConfig(size=420, seed=23)).deployments
     )
+    # One fingerprint per protocol across the whole shard: every chain slot
+    # points at a single shared chain object, so the columnar dedup index
+    # collapses the shard to (at most) two distinct shapes with maximal
+    # multiplicity — the degenerate opposite of the natural population.
+    quic_donor = next(d.quic_chain for d in deployments if d.quic_chain is not None)
+    https_donor = next(d.https_chain for d in deployments if d.https_chain is not None)
+    one_fingerprint = tuple(
+        replace(
+            d,
+            quic_chain=quic_donor if d.quic_chain is not None else None,
+            https_chain=https_donor if d.https_chain is not None else None,
+        )
+        for d in deployments[:64]
+    )
+    # Every provider unique: the per-provider spoof-candidate cap and the
+    # multiplicity index both degenerate to count 1 everywhere.
+    providers_distinct = tuple(
+        replace(d, provider=f"provider-{index}" if d.provider else None)
+        for index, d in enumerate(deployments[:64])
+    )
     return {
         "empty": (),
         "single-domain": deployments[:1],
@@ -417,11 +439,21 @@ def _edge_shard_deployments():
         "all-spoof-target": tuple(
             d for d in deployments if d.supports_quic and d.provider
         )[:64],
+        "one-fingerprint": one_fingerprint,
+        "providers-distinct": providers_distinct,
     }
 
 
 @pytest.mark.parametrize(
-    "case", ["empty", "single-domain", "all-non-quic", "all-spoof-target"]
+    "case",
+    [
+        "empty",
+        "single-domain",
+        "all-non-quic",
+        "all-spoof-target",
+        "one-fingerprint",
+        "providers-distinct",
+    ],
 )
 def test_edge_shards_identical_under_both_backends(case):
     """Degenerate shards summarise identically under both backends."""

@@ -1,0 +1,68 @@
+"""Pins for the shared statistics helpers (repro.analysis.stats).
+
+The percentile helper's index rounding is banker's (half-to-even, Python's
+built-in ``round``): golden report digests were produced under it, so these
+tests pin the exact boundary behaviour a half-up reimplementation would
+silently change.
+"""
+
+import pytest
+
+from repro.analysis.stats import mean, median, percentile, share
+
+
+class TestPercentileBankersRounding:
+    def test_half_rank_rounds_to_even_index_zero(self):
+        # rank = 0.5 * (2 - 1) = 0.5 -> round() picks 0 (half-to-even),
+        # NOT 1 as half-up rounding would.
+        assert percentile([1.0, 2.0], 0.5) == 1.0
+
+    def test_half_rank_rounds_to_even_index_two(self):
+        # rank = 0.5 * (4 - 1) = 1.5 -> index 2 (even), same as half-up here,
+        # so four-element medians take the upper middle.
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 3.0
+
+    def test_six_elements_half_rank(self):
+        # rank = 0.5 * 5 = 2.5 -> index 2 (half-to-even), NOT 3.
+        assert percentile([1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 0.5) == 3.0
+
+    def test_quarter_rank_half_boundary(self):
+        # rank = 0.25 * (3 - 1) = 0.5 -> index 0.
+        assert percentile([10.0, 20.0, 30.0], 0.25) == 10.0
+
+    def test_p95_on_twenty_one_elements_is_exact(self):
+        values = list(range(21))
+        # rank = 0.95 * 20 = 19.0 exactly.
+        assert percentile(values, 0.95) == 19
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 5.0
+
+    def test_unsorted_input_is_sorted_first(self):
+        assert percentile([9.0, 1.0, 5.0], 0.5) == 5.0
+
+    def test_empty_input(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_fraction_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+
+
+def test_median_is_percentile_half():
+    values = [4.0, 1.0, 2.0, 3.0]
+    assert median(values) == percentile(values, 0.5)
+
+
+def test_mean_empty_and_simple():
+    assert mean([]) == 0.0
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+
+
+def test_share():
+    assert share([], lambda item: True) == 0.0
+    assert share([1, 2, 3, 4], lambda item: item % 2 == 0) == 0.5
