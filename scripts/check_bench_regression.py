@@ -14,6 +14,12 @@ quadratic fold, a cache key that stopped deduplicating — not scheduler noise.
 Generation, checkpoint and report phases are reported for context but not
 gated: they are not what the columnar backend optimises.
 
+When the fresh file carries a ``scenario_sweep`` section (measured with
+``profile_campaign.py --phases --scenario-grid ...``), its amortisation
+ratio — grid-sweep wall clock over N independent campaigns — is additionally
+gated against the hard :data:`MAX_SWEEP_RATIO` ceiling.  The ratio is
+within-run, so no cross-machine tolerance applies.
+
 Usage::
 
     python scripts/check_bench_regression.py FRESH.json --baseline BENCH_campaign.json
@@ -28,13 +34,24 @@ import sys
 #: Phases the columnar backend is accountable for.
 GATED_PHASES = ("scan", "reduce")
 
+#: Hard ceiling on scenario_sweep.ratio (grid wall / N-independent wall).
+#: The ratio is a within-run comparison, so unlike raw seconds it is stable
+#: across machines: a grid sweep that stops amortising generation shows up
+#: here no matter how fast the runner is.
+MAX_SWEEP_RATIO = 0.55
 
-def load_phases(path: str) -> dict:
+
+def load_payload(path: str) -> dict:
     try:
         with open(path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
     except (OSError, json.JSONDecodeError) as error:
         raise SystemExit(f"cannot read benchmark file {path!r}: {error}")
+    return payload
+
+
+def load_phases(path: str, payload: dict = None) -> dict:
+    payload = payload if payload is not None else load_payload(path)
     phases = payload.get("phases")
     if not isinstance(phases, dict):
         raise SystemExit(f"{path!r} has no 'phases' object — not a --phases JSON?")
@@ -42,6 +59,34 @@ def load_phases(path: str) -> dict:
     if missing:
         raise SystemExit(f"{path!r} is missing phase(s): {', '.join(missing)}")
     return phases
+
+
+def check_sweep_ratio(fresh_payload: dict, path: str) -> int:
+    """Gate the cross-scenario amortisation ratio, when measured.
+
+    Only runs when the fresh JSON carries a ``scenario_sweep`` section
+    (``profile_campaign.py --phases --scenario-grid ...``); returns the
+    number of failures.
+    """
+    sweep = fresh_payload.get("scenario_sweep")
+    if not isinstance(sweep, dict):
+        return 0
+    ratio = sweep.get("ratio")
+    if not isinstance(ratio, (int, float)):
+        raise SystemExit(f"{path!r} scenario_sweep has no numeric 'ratio'")
+    print(
+        f"{'sweep ratio':>12}: fresh {ratio:7.4f}    limit {MAX_SWEEP_RATIO:7.4f} "
+        f"(grid '{sweep.get('grid')}', {sweep.get('scenarios')} scenarios)"
+    )
+    if ratio > MAX_SWEEP_RATIO:
+        print(
+            f"FAIL: grid sweep ran at {ratio:.1%} of N independent campaigns "
+            f"(ceiling {MAX_SWEEP_RATIO:.0%}) — shard reuse stopped amortising",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: grid sweep amortisation within ceiling")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -62,7 +107,8 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    fresh = load_phases(args.fresh)
+    fresh_payload = load_payload(args.fresh)
+    fresh = load_phases(args.fresh, fresh_payload)
     baseline = load_phases(args.baseline)
 
     fresh_gated = sum(fresh[name] for name in GATED_PHASES)
@@ -80,12 +126,16 @@ def main(argv=None) -> int:
         f"(baseline {baseline_gated:.4f}s + {args.tolerance:.0%})"
     )
 
+    failures = check_sweep_ratio(fresh_payload, args.fresh)
+
     if fresh_gated > limit:
         print(
             f"FAIL: columnar scan+reduce regressed {fresh_gated / baseline_gated:.2f}x "
             f"over the checked-in baseline (tolerance {args.tolerance:.0%})",
             file=sys.stderr,
         )
+        return 1
+    if failures:
         return 1
     print("OK: columnar scan+reduce within tolerance")
     return 0

@@ -21,6 +21,8 @@ Usage::
                                                       [--skip-report]
     PYTHONPATH=src python scripts/profile_campaign.py --phases [--size 2500]
                                                       [--json [PATH]]
+    PYTHONPATH=src python scripts/profile_campaign.py --phases \
+        --scenario-grid what-ifs   # grid sweep vs N independent campaigns
 """
 
 from __future__ import annotations
@@ -74,7 +76,165 @@ def build_parser() -> argparse.ArgumentParser:
              "fuses scan+summarise, so its whole kernel is timed as 'scan' "
              "and only the reducer fold as 'reduce')",
     )
+    parser.add_argument(
+        "--scenario-grid", type=str, default=None, metavar="GRID",
+        help="with --phases: also profile a cross-scenario grid sweep "
+             "(built-in grid name, grid JSON file, or comma-separated "
+             "scenario list) against N independent campaigns and report the "
+             "per-phase amortization; with --json the numbers land in a "
+             "'scenario_sweep' section",
+    )
     return parser
+
+
+def profile_grid_sweep(args: argparse.Namespace) -> dict:
+    """Time an N-scenario grid sweep against N independent campaigns.
+
+    The grid pass mirrors :func:`repro.scanners.streaming._scan_and_summarize_grid`
+    with a stopwatch around each stage: *generation* is the once-per-shard
+    skeleton pass plus every member's transform+materialisation (sharing one
+    chain cache), *scan* and *reduce* run once per ``(shard, scenario)`` pair.
+    The independent reference runs each member as its own streamed campaign,
+    exactly what ``repro compare`` cost before grids existed.
+    """
+    import dataclasses
+
+    from repro.analysis.report import build_report
+    from repro.scanners.orchestrator import MeasurementCampaign
+    from repro.scanners.sharding import DEFAULT_SHARD_SIZE, plan_shards, scan_shard
+    from repro.scanners.streaming import (
+        CampaignReducer,
+        ReductionSpec,
+        summarize_shard,
+    )
+    from repro.scenarios import load_grid
+    from repro.webpki.population import PopulationConfig, deployments_for_range
+    from repro.x509.ca import default_hierarchy
+
+    grid = load_grid(args.scenario_grid)
+    config = PopulationConfig(size=args.size, seed=args.seed)
+    shard_size = args.shard_size or DEFAULT_SHARD_SIZE
+    spec = ReductionSpec()
+    columnar = args.scan_backend == "columnar"
+    if columnar:
+        from repro.scanners.columnar import summarize_shard_columnar
+    hierarchy = default_hierarchy()
+    member_configs = {
+        scenario.name: scenario.population_config(base=config) for scenario in grid
+    }
+
+    # Independent reference: one full streamed campaign (report included)
+    # per member, exactly the pre-grid cost of an N-scenario comparison.
+    t0 = time.perf_counter()
+    for scenario in grid:
+        results = MeasurementCampaign(
+            population_config=member_configs[scenario.name],
+            stream=True,
+            shard_size=shard_size,
+            scan_backend=args.scan_backend,
+        ).run()
+        build_report(results, include_sweep=False)
+    independent_total = time.perf_counter() - t0
+
+    # Grid sweep with per-phase stopwatches.
+    generation = scan_seconds = reduce_seconds = 0.0
+    reducers = {
+        scenario.name: CampaignReducer(spec=spec, run_sweep=False) for scenario in grid
+    }
+    total_start = time.perf_counter()
+    shards = list(plan_shards(config.size, shard_size))
+    for shard in shards:
+        chain_cache: dict = {}
+        groups: dict = {}
+        for scenario in grid:
+            base_config = dataclasses.replace(
+                member_configs[scenario.name], scenario=None
+            )
+            groups.setdefault(base_config, []).append(scenario)
+        for base_config, members in groups.items():
+            t0 = time.perf_counter()
+            skeletons = deployments_for_range(
+                base_config, shard.start, shard.stop, skeleton=True
+            )
+            generation += time.perf_counter() - t0
+            for scenario in members:
+                member_task = _member_task(
+                    shard, member_configs[scenario.name], scenario, args.scan_backend
+                )
+                t0 = time.perf_counter()
+                deployments = tuple(
+                    s.materialize(hierarchy, chain_cache=chain_cache)
+                    for s in scenario.transform_skeletons(skeletons)
+                )
+                t1 = time.perf_counter()
+                if columnar:
+                    summary = summarize_shard_columnar(member_task, deployments, spec)
+                else:
+                    scan = scan_shard(member_task, deployments=deployments)
+                    summary = summarize_shard(member_task, deployments, scan, spec)
+                t2 = time.perf_counter()
+                reducers[scenario.name].add(summary)
+                t3 = time.perf_counter()
+                generation += t1 - t0
+                scan_seconds += t2 - t1
+                reduce_seconds += t3 - t2
+
+    report_seconds = 0.0
+    for scenario in grid:
+        t0 = time.perf_counter()
+        reduced = reducers[scenario.name].reduced_scan()
+        campaign = MeasurementCampaign(
+            population_config=member_configs[scenario.name], stream=True
+        )
+        results = campaign.finalize_streaming(reduced)
+        reduce_seconds += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        build_report(results, include_sweep=False)
+        report_seconds += time.perf_counter() - t0
+    grid_total = time.perf_counter() - total_start
+
+    ratio = grid_total / independent_total if independent_total else None
+    sweep = {
+        "grid": grid.name,
+        "scenarios": len(grid),
+        "shard_size": shard_size,
+        "scan_backend": args.scan_backend,
+        "phases": {
+            "generation": round(generation, 4),
+            "scan": round(scan_seconds, 4),
+            "reduce": round(reduce_seconds, 4),
+            "report": round(report_seconds, 4),
+            "total": round(grid_total, 4),
+        },
+        "independent_total": round(independent_total, 4),
+        "ratio": round(ratio, 3) if ratio is not None else None,
+    }
+    print(f"\nscenario sweep ({grid.name}: {len(grid)} scenarios, "
+          f"{config.size} domains, {args.scan_backend} backend):")
+    for name in ("generation", "scan", "reduce", "report", "total"):
+        print(f"  {name:<11s} {sweep['phases'][name]:8.2f} s")
+    print(f"  {len(grid)} independent campaigns: {independent_total:8.2f} s")
+    print(f"  grid sweep / independent:  {ratio:.1%} of the wall time"
+          if ratio is not None else "  (independent reference too fast to time)")
+    return sweep
+
+
+def _member_task(shard, member_config, scenario, scan_backend):
+    from repro.scanners.sharding import DEFAULT_ANALYSIS_INITIAL_SIZE, ShardTask
+
+    return ShardTask(
+        index=shard.index,
+        population_config=member_config,
+        start=shard.start,
+        stop=shard.stop,
+        analysis_initial_size=(
+            scenario.analysis_initial_size
+            if scenario.analysis_initial_size is not None
+            else DEFAULT_ANALYSIS_INITIAL_SIZE
+        ),
+        analysis_compression=scenario.client_compression,
+        scan_backend=scan_backend,
+    )
 
 
 def run_phases(args: argparse.Namespace) -> int:
@@ -219,6 +379,10 @@ def run_phases(args: argparse.Namespace) -> int:
             f"({info.hit_rate:.1%} hit rate, {info.currsize} entries)"
         )
 
+    sweep = None
+    if args.scenario_grid:
+        sweep = profile_grid_sweep(args)
+
     if args.json:
         payload = {
             "schema": "repro-campaign-phases/1",
@@ -237,6 +401,8 @@ def run_phases(args: argparse.Namespace) -> int:
             "python": platform.python_version(),
             "platform": platform.platform(),
         }
+        if sweep is not None:
+            payload["scenario_sweep"] = sweep
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -293,6 +459,8 @@ def main() -> int:
         # Only the phase mode writes the JSON breakdown; silently running a
         # multi-second cProfile instead would leave a stale BENCH_campaign.json.
         parser.error("--json requires --phases")
+    if args.scenario_grid is not None and not args.phases:
+        parser.error("--scenario-grid requires --phases")
     if args.phases:
         return run_phases(args)
     return run_cprofile(args)

@@ -97,6 +97,13 @@ def build_parser() -> argparse.ArgumentParser:
              "(see 'repro scenarios') or a scenario JSON file",
     )
     campaign.add_argument(
+        "--scenario-grid", type=str, default=None, metavar="GRID|FILE.json",
+        help="sweep a whole scenario grid in one shared-generation campaign "
+             "(cross-scenario shard reuse): a built-in grid name, a grid JSON "
+             "file, or a comma-separated scenario list; emits one report per "
+             "member (with --output DIR, one <member>.report.txt each)",
+    )
+    campaign.add_argument(
         "--scan-backend", type=str, default=None, metavar="{object,columnar}",
         help="shard-scan implementation: 'object' (reference pipeline over "
              "real fabric objects) or 'columnar' (fused whole-shard "
@@ -115,17 +122,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated scenario names or JSON files "
              "(default: every built-in scenario, baseline first)",
     )
+    compare.add_argument(
+        "--grid", type=str, default=None, metavar="GRID|FILE.json",
+        help="sweep a scenario grid instead and print the adoption-curve "
+             "table: a built-in grid name (e.g. 'compression-adoption'), a "
+             "grid JSON file, or a comma-separated scenario list",
+    )
     compare.add_argument("--size", type=int, default=1200, help="population size (default: 1200)")
     compare.add_argument("--seed", type=int, default=2022, help="population seed (default: 2022)")
     compare.add_argument(
         "--workers", type=int, default=None,
-        help="scan shards in this many worker processes per campaign",
+        help="scan shards in this many worker processes",
+    )
+    compare.add_argument(
+        "--shard-size", type=int, default=None,
+        help="deployments per scan shard (default: 2048)",
+    )
+    compare.add_argument(
+        "--scan-backend", type=str, default=None, metavar="{object,columnar}",
+        help="shard-scan implementation (see 'repro campaign --help')",
+    )
+    compare.add_argument(
+        "--progress", action="store_true",
+        help="print per-shard progress lines to stderr while the sweep runs",
     )
 
     scenarios = subparsers.add_parser("scenarios", help="list the built-in what-if scenarios")
     scenarios.add_argument(
         "--names", action="store_true",
         help="print bare scenario names only (one per line, for scripting)",
+    )
+    scenarios.add_argument(
+        "--grid", type=str, default=None, metavar="GRID|FILE.json",
+        help="dry-run a scenario grid instead: expand it and list every "
+             "member with its fingerprint (nothing is generated or scanned)",
     )
 
     predict = subparsers.add_parser("predict", help="predict the handshake class for a chain profile")
@@ -145,10 +175,24 @@ def _run_campaign(args: argparse.Namespace) -> int:
     from .scanners.faults import FaultPlanError, load_fault_plan
     from .scanners.sharding import RetryPolicy, ShardDispatchError
 
+    if args.scenario_grid and args.scenario:
+        print(
+            "error: --scenario-grid and --scenario are mutually exclusive; "
+            "put the scenario in the grid",
+            file=sys.stderr,
+        )
+        return 2
+    if args.scenario_grid and args.sweep:
+        print(
+            "error: --sweep is per-campaign discovery and cannot ride a grid "
+            "sweep; run it against a single scenario",
+            file=sys.stderr,
+        )
+        return 2
     if args.resume and not args.checkpoint_dir:
         print("error: --resume needs --checkpoint-dir DIR to resume from", file=sys.stderr)
         return 2
-    if args.checkpoint_dir and not args.stream:
+    if args.checkpoint_dir and not args.stream and not args.scenario_grid:
         print(
             "error: checkpointing rides the streaming pipeline; add --stream",
             file=sys.stderr,
@@ -183,6 +227,8 @@ def _run_campaign(args: argparse.Namespace) -> int:
         return 2
 
     config = PopulationConfig(size=args.size, seed=args.seed)
+    if args.scenario_grid:
+        return _run_grid_campaign(args, config, retry_policy, fault_plan)
     if args.scenario:
         try:
             scenario = load_scenario(args.scenario)
@@ -255,6 +301,91 @@ def _run_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_grid_campaign(args, config, retry_policy, fault_plan) -> int:
+    """The ``campaign --scenario-grid`` branch: one generation, N reports.
+
+    The grid path is always streamed (workers regenerate their shards), so
+    ``--stream`` is implied; checkpoints land at ``(shard, scenario)``
+    granularity.  ``--output`` names a directory holding one
+    ``<member>.report.txt`` per grid member; ``--export-dir`` exports each
+    member's full CSV bundle into ``<dir>/<member>/``.
+    """
+    import os
+    import time
+
+    from .scanners.checkpoint import CheckpointError
+    from .scanners.orchestrator import run_grid_campaign
+    from .scanners.sharding import ShardDispatchError
+    from .scenarios import load_grid
+
+    try:
+        grid = load_grid(args.scenario_grid)
+    except ScenarioError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    def progress(line: str) -> None:
+        print(line, file=sys.stderr)
+
+    t0 = time.perf_counter()
+    try:
+        results = run_grid_campaign(
+            grid,
+            config=config,
+            workers=args.workers,
+            shard_size=args.shard_size,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            retry_policy=retry_policy,
+            fault_plan=fault_plan,
+            scan_backend=args.scan_backend,
+            progress=progress,
+        )
+    except CheckpointError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ShardDispatchError as error:
+        suffix = (
+            f"; manifest of incomplete shards: "
+            f"{args.checkpoint_dir}/incomplete.json"
+            if args.checkpoint_dir
+            else ""
+        )
+        print(f"error: {error}{suffix}", file=sys.stderr)
+        return 1
+    t1 = time.perf_counter()
+    reports = {name: build_report(results[name]) for name in grid.member_names}
+    t2 = time.perf_counter()
+    if args.timings:
+        print(f"grid campaign ({len(grid)} scenarios): {t1 - t0:8.2f} s", file=sys.stderr)
+        print(f"reports:               {t2 - t1:8.2f} s", file=sys.stderr)
+    if args.output:
+        from .core.ioutil import atomic_write_text
+
+        os.makedirs(args.output, exist_ok=True)
+        for name, report in reports.items():
+            path = os.path.join(args.output, f"{name}.report.txt")
+            atomic_write_text(path, report.text + "\n")
+        print(f"{len(reports)} reports written to {args.output}")
+    else:
+        for index, (name, report) in enumerate(reports.items()):
+            if index:
+                print()
+            print(f"=== scenario: {name} ===")
+            print(report.text)
+    if args.export_dir:
+        from .analysis.export import export_evaluation
+
+        total = 0
+        for name, report in reports.items():
+            exported = export_evaluation(
+                results[name], os.path.join(args.export_dir, name), report
+            )
+            total += exported.file_count
+        print(f"{total} files exported to {args.export_dir}")
+    return 0
+
+
 def _run_predict(args: argparse.Namespace) -> int:
     hierarchy = default_hierarchy()
     if args.chain not in hierarchy.profiles:
@@ -284,7 +415,43 @@ def _run_predict(args: argparse.Namespace) -> int:
 
 
 def _run_compare(args: argparse.Namespace) -> int:
-    from .scenarios import compare_scenarios
+    from .scanners.columnar import resolve_scan_backend
+    from .scenarios import compare_grid, compare_scenarios
+
+    if args.grid and args.scenarios:
+        print(
+            "error: --grid and --scenarios are mutually exclusive; a "
+            "comma-separated list works as a --grid spec too",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        resolve_scan_backend(args.scan_backend)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    progress = None
+    if args.progress:
+        def progress(line: str) -> None:
+            print(line, file=sys.stderr)
+
+    if args.grid:
+        try:
+            curve = compare_grid(
+                args.grid,
+                size=args.size,
+                seed=args.seed,
+                workers=args.workers,
+                shard_size=args.shard_size,
+                scan_backend=args.scan_backend,
+                progress=progress,
+            )
+        except ScenarioError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(curve.render_text())
+        return 0
 
     names = (
         [name.strip() for name in args.scenarios.split(",") if name.strip()]
@@ -293,7 +460,12 @@ def _run_compare(args: argparse.Namespace) -> int:
     )
     try:
         comparison = compare_scenarios(
-            names, size=args.size, seed=args.seed, workers=args.workers
+            names,
+            size=args.size,
+            seed=args.seed,
+            workers=args.workers,
+            shard_size=args.shard_size,
+            progress=progress,
         )
     except ScenarioError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -303,6 +475,22 @@ def _run_compare(args: argparse.Namespace) -> int:
 
 
 def _run_scenarios(args: argparse.Namespace) -> int:
+    if args.grid:
+        from .scenarios import load_grid
+
+        try:
+            grid = load_grid(args.grid)
+        except ScenarioError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(f"Scenario grid '{grid.name}' — {len(grid)} members "
+              f"(fingerprint {grid.fingerprint()[:16]}):")
+        if grid.description:
+            print(f"  {grid.description}")
+        print()
+        for spec in grid:
+            print(f"  {spec.name:<40s} {spec.fingerprint()[:16]}")
+        return 0
     if args.names:
         for name in BUILTIN_SCENARIOS:
             print(name)

@@ -199,6 +199,20 @@ def with_universal_compression(profile: ServerBehaviorProfile) -> ServerBehavior
     return profile.with_compression(CertificateCompressionAlgorithm.BROTLI)
 
 
+@lru_cache(maxsize=None)
+def without_compression(profile: ServerBehaviorProfile) -> ServerBehaviorProfile:
+    """The same stack with certificate compression unlinked.
+
+    The non-adopter half of the ``compression_adoption`` counterfactual:
+    profiles that never negotiated compression are returned unchanged
+    (identity preserved), everything else loses its algorithms.  Cached for
+    the same flight-plan-identity reason as :func:`with_universal_compression`.
+    """
+    if not profile.compression_algorithms:
+        return profile
+    return profile.with_compression(())
+
+
 BUILTIN_PROFILES: Dict[str, ServerBehaviorProfile] = {
     profile.name: profile
     for profile in (

@@ -28,13 +28,14 @@ from .qscanner import QScanner, QuicCertificateRecord, CertificateComparison
 from .compression_scanner import CompressionScanner, CompressionObservation
 from .zmap import ZmapScanner, ZmapProbeResult
 from .backscatter import BackscatterAnalyzer, ProviderBackscatter, simulate_spoofed_campaign
-from .orchestrator import MeasurementCampaign, CampaignResults
+from .orchestrator import MeasurementCampaign, CampaignResults, run_grid_campaign
 from .streaming import (
     CampaignReducer,
     ReducedCampaignResults,
     ReducedScanResults,
     ReductionSpec,
     ShardSummary,
+    run_streaming_grid_scan,
     run_streaming_scan,
     summarize_shard,
 )
@@ -56,6 +57,8 @@ __all__ = [
     "ReducedScanResults",
     "ReductionSpec",
     "ShardSummary",
+    "run_grid_campaign",
+    "run_streaming_grid_scan",
     "run_streaming_scan",
     "summarize_shard",
     "DEFAULT_SHARD_SIZE",

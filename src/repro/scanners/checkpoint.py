@@ -193,7 +193,32 @@ class CheckpointStore:
         shard size, scenario)`` is rejected: resuming — or checkpointing into
         — it would interleave summaries that can never merge.
         """
-        expected = self._campaign_metadata(config, shard_size)
+        self._verify_or_claim(self._campaign_metadata(config, shard_size))
+
+    def bind_grid(self, config: PopulationConfig, shard_size: int, grid) -> None:
+        """Claim this directory for one scenario-grid campaign (or verify it).
+
+        The binding is relaxed relative to :meth:`bind_campaign`: it pins
+        ``(seed, size, shard_size, grid fingerprint)`` — what every member of
+        the sweep shares — while the member scenarios themselves stay
+        content-addressed per checkpoint file.  The grid fingerprint is
+        order- and name-insensitive (:meth:`ScenarioGrid.fingerprint`), so a
+        reordered or renamed sweep over the same member set resumes cleanly;
+        the grid name and member list are written for humans but not matched.
+        """
+        expected = {
+            "format": CHECKPOINT_FORMAT.decode("ascii"),
+            "seed": config.seed,
+            "size": config.size,
+            "shard_size": shard_size,
+            "grid_fingerprint": grid.fingerprint(),
+        }
+        self._verify_or_claim(
+            expected,
+            extra={"grid": grid.name, "scenarios": sorted(grid.member_names)},
+        )
+
+    def _verify_or_claim(self, expected: Dict, extra: Optional[Dict] = None) -> None:
         if os.path.exists(self.metadata_path):
             try:
                 with open(self.metadata_path, "r", encoding="utf-8") as handle:
@@ -219,9 +244,11 @@ class CheckpointStore:
                     "a fresh directory or rerun with the original parameters"
                 )
         else:
+            payload = dict(expected)
+            payload.update(extra or {})
             atomic_write_text(
                 self.metadata_path,
-                json.dumps(expected, indent=2, sort_keys=True) + "\n",
+                json.dumps(payload, indent=2, sort_keys=True) + "\n",
             )
 
     # -- save/load -------------------------------------------------------------

@@ -47,6 +47,7 @@ from .streaming import (
     SPOOF_PROVIDERS,
     _scan_and_summarize,
     provider_of_domain,
+    run_streaming_grid_scan,
     run_streaming_scan,
     take_per_provider,
 )
@@ -565,3 +566,63 @@ class MeasurementCampaign:
             network.attach_host(host)
         scanner = ZmapScanner(network)
         return scanner.probe_prefix(META_POP_PREFIX)
+
+
+# ---------------------------------------------------------------------------
+# Grid campaigns (cross-scenario shard reuse)
+# ---------------------------------------------------------------------------
+
+def run_grid_campaign(
+    grid,
+    config: Optional[PopulationConfig] = None,
+    workers: Optional[int] = None,
+    shard_size: Optional[int] = None,
+    spoofed_targets_per_provider: int = 60,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    retry_policy=None,
+    fault_plan=None,
+    scan_backend: Optional[str] = None,
+    progress=None,
+) -> Dict[str, ReducedCampaignResults]:
+    """Run every scenario of a :class:`~repro.scenarios.grid.ScenarioGrid`
+    over one shared generation pass and finalize each member.
+
+    The amortized equivalent of N independent streamed
+    :class:`MeasurementCampaign` runs: stages 1–4 go through
+    :func:`~repro.scanners.streaming.run_streaming_grid_scan` (one skeleton
+    pass per shard visit, N scans), then stage 5 finalizes per member under
+    its own campaign — so every returned
+    :class:`~repro.scanners.streaming.ReducedCampaignResults` is
+    byte-identical to the one its independent ``--scenario`` run produces.
+    Results are keyed by member name, in grid order.
+    """
+    config = config or PopulationConfig()
+    if config.scenario is not None:
+        raise ValueError(
+            "grid campaigns take a scenario-free base config; member "
+            "scenarios derive their own configs from it"
+        )
+    spec = ReductionSpec(spoof_limit_per_provider=spoofed_targets_per_provider)
+    scans = run_streaming_grid_scan(
+        config,
+        grid,
+        workers=workers if workers is not None else 1,
+        shard_size=shard_size if shard_size is not None else DEFAULT_SHARD_SIZE,
+        spec=spec,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        retry_policy=retry_policy,
+        fault_plan=fault_plan,
+        scan_backend=scan_backend,
+        progress=progress,
+    )
+    results: Dict[str, ReducedCampaignResults] = {}
+    for scenario in grid:
+        campaign = MeasurementCampaign(
+            population_config=scenario.population_config(base=config),
+            stream=True,
+            spoofed_targets_per_provider=spoofed_targets_per_provider,
+        )
+        results[scenario.name] = campaign.finalize_streaming(scans[scenario.name])
+    return results

@@ -25,6 +25,7 @@ campaign reports:
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -33,7 +34,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..quic.server import FlightCacheInfo, FlightPlanCache
-from ..scenarios import BASELINE
+from ..scenarios import BASELINE, ScenarioSpec
 from ..tls.cert_compression import CertificateCompressionAlgorithm
 from ..webpki.deployment import DomainDeployment, ServiceCategory
 from ..webpki.population import (
@@ -140,6 +141,39 @@ class ShardTask:
     #: runs only).  Appended last so pickled tasks from older call sites keep
     #: their field order.
     scan_backend: str = "object"
+    #: The scenario sweep riding this worker visit.  When set, the grid worker
+    #: entry (:func:`repro.scanners.streaming._scan_and_summarize_grid`)
+    #: materialises the shard's baseline skeletons once, replays every member
+    #: transform against them, and emits one summary per member — the
+    #: cross-scenario shard-reuse contract.  ``population_config`` then
+    #: carries the *base* (scenario-free) campaign config; each member derives
+    #: its own via :meth:`for_scenario`.  Appended after ``scan_backend`` to
+    #: keep pickled field order stable.
+    grid_scenarios: Optional[Tuple[ScenarioSpec, ...]] = None
+
+    def for_scenario(self, scenario: ScenarioSpec) -> "ShardTask":
+        """Derive the single-scenario task one grid member scans under.
+
+        Equal by construction to the task an independent ``--scenario`` run
+        would have built for this shard: the member's population config (spec
+        embedded), analysis Initial size and client compression offer replace
+        the grid-level ones, and ``grid_scenarios`` is cleared so downstream
+        summarisers see an ordinary single-scenario task.
+        """
+        if self.population_config is None:
+            raise ValueError("grid shard tasks must carry a population config")
+        config = scenario.population_config(base=self.population_config)
+        return dataclasses.replace(
+            self,
+            population_config=config,
+            analysis_initial_size=(
+                scenario.analysis_initial_size
+                if scenario.analysis_initial_size is not None
+                else DEFAULT_ANALYSIS_INITIAL_SIZE
+            ),
+            analysis_compression=scenario.client_compression,
+            grid_scenarios=None,
+        )
 
     def resolve_deployments(self) -> Tuple[DomainDeployment, ...]:
         if self.use_fork_shared:

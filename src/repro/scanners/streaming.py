@@ -30,12 +30,24 @@ The streaming reduction contract (see docs/ARCHITECTURE.md):
 
 from __future__ import annotations
 
+import dataclasses
 from array import array
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..scenarios.grid import ScenarioGrid
     from ..scenarios.spec import ScenarioSpec
 
 from ..analysis.figures import figure02b, figure07, figure08, figure12, figure13, table02
@@ -48,7 +60,8 @@ from ..tls.cert_compression import (
     compress_certificate_chain,
 )
 from ..webpki.deployment import DomainDeployment, ServiceCategory
-from ..webpki.population import PopulationConfig
+from ..webpki.population import PopulationConfig, deployments_for_range
+from ..x509.ca import default_hierarchy
 from ..x509.field_sizes import san_byte_share
 from .backscatter import ProviderBackscatter
 from .compression_scanner import ALL_ALGORITHMS
@@ -434,6 +447,69 @@ def _scan_and_summarize(payload: Tuple[ShardTask, ReductionSpec, int, object]) -
         return summarize_shard_columnar(task, deployments, spec)
     scan = scan_shard(task, deployments=deployments)
     return summarize_shard(task, deployments, scan, spec)
+
+
+def _scan_and_summarize_grid(
+    payload: Tuple[ShardTask, ReductionSpec, int, object]
+) -> Tuple[ShardSummary, ...]:
+    """Grid worker entry point: one generation pass, one summary per scenario.
+
+    The cross-scenario shard-reuse contract (docs/ARCHITECTURE.md): scenarios
+    are pure post-RNG skeleton transforms, so the shard's *baseline* skeletons
+    are generated once per population-config group (members whose
+    ``population_overrides`` change the config before generation get their own
+    group), every member transform is replayed against them, and chains whose
+    specs a transform left untouched are issued once via a shared
+    ``ChainSpec → chain`` cache — equal specs materialise byte-identical
+    chains, so reuse cannot change any scan result.  Within one scenario's
+    scan the object-identity structure matches an independent run exactly
+    (chain specs embed their domain, so no two deployments of a scan ever
+    share a cache entry), keeping identity-keyed scan caches honest.
+
+    Summaries come back in ``task.grid_scenarios`` order, each byte-identical
+    to the summary an independent single-scenario campaign produces for this
+    shard.
+    """
+    task, spec, attempt, fault_plan = payload
+    if fault_plan is not None:
+        fault_plan.inject_worker_fault(task.index, attempt)
+    if not task.grid_scenarios:
+        raise ValueError("grid worker dispatched a task without grid_scenarios")
+    hierarchy = default_hierarchy()
+    chain_cache: Dict = {}
+    member_tasks = {
+        scenario.name: task.for_scenario(scenario) for scenario in task.grid_scenarios
+    }
+    groups: Dict[PopulationConfig, List] = {}
+    for scenario in task.grid_scenarios:
+        base_config = dataclasses.replace(
+            member_tasks[scenario.name].population_config, scenario=None
+        )
+        groups.setdefault(base_config, []).append(scenario)
+    summaries: Dict[str, ShardSummary] = {}
+    for base_config, members in groups.items():
+        skeletons = deployments_for_range(
+            base_config, task.start, task.stop, skeleton=True
+        )
+        for scenario in members:
+            member_task = member_tasks[scenario.name]
+            deployments = tuple(
+                skeleton.materialize(hierarchy, chain_cache=chain_cache)
+                for skeleton in scenario.transform_skeletons(skeletons)
+            )
+            if member_task.scan_backend == "columnar":
+                # Imported lazily: columnar imports this module at top level.
+                from .columnar import summarize_shard_columnar
+
+                summaries[scenario.name] = summarize_shard_columnar(
+                    member_task, deployments, spec
+                )
+            else:
+                scan = scan_shard(member_task, deployments=deployments)
+                summaries[scenario.name] = summarize_shard(
+                    member_task, deployments, scan, spec
+                )
+    return tuple(summaries[scenario.name] for scenario in task.grid_scenarios)
 
 
 def _count_quic_targets(task: ShardTask) -> Tuple[int, int]:
@@ -1142,3 +1218,163 @@ def run_streaming_scan(
     if store is not None:
         store.clear_incomplete_manifest()
     return reducer.reduced_scan()
+
+
+def run_streaming_grid_scan(
+    config: PopulationConfig,
+    grid: "ScenarioGrid",
+    workers: int = 1,
+    shard_size: int = DEFAULT_SHARD_SIZE,
+    spec: Optional[ReductionSpec] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    retry_policy: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    scan_backend: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, ReducedScanResults]:
+    """Stream an N-scenario grid over one population at one-generation cost.
+
+    The amortized counterpart of N :func:`run_streaming_scan` calls: every
+    worker visit to a shard generates the baseline skeletons once, replays
+    all requested scenario transforms against them and scans each
+    (:func:`_scan_and_summarize_grid`), so the sweep costs ``1×generation +
+    N×scan`` instead of ``N×(generation + scan)``.  Results fan into one
+    :class:`CampaignReducer` per member scenario — each reducer still sees
+    exactly one fingerprint, so the mixed-scenario rejection of single runs
+    is unchanged — and the returned per-scenario
+    :class:`ReducedScanResults` are byte-identical to independent runs.
+
+    ``config`` is the scenario-free *base* campaign config; each member
+    derives its own via :meth:`ScenarioSpec.population_config`, so members
+    with ``population_overrides`` participate too (they form their own
+    generation group inside the worker visit).
+
+    Durability mirrors single-scenario runs but at ``(shard, scenario)``
+    granularity: one ``checkpoint_dir`` holds the whole grid
+    (:meth:`CheckpointStore.bind_grid` binds ``(seed, size, shard_size,
+    grid fingerprint)``; checkpoint files stay content-addressed by member
+    fingerprint), and ``resume`` dispatches each shard with only the member
+    scenarios missing from the store.
+
+    ``progress`` (optional) receives one human-readable line per reduced
+    shard visit and per resume fold — the CLI surfaces it so long sweeps are
+    not silent.
+
+    The Initial-size sweep is not available through the grid path: sweep
+    discovery is a per-campaign global pass, so sweeping members would cost
+    the very duplication this runner removes.
+    """
+    if workers <= 0:
+        raise ValueError("workers must be positive")
+    if resume and checkpoint_dir is None:
+        raise CheckpointError("resume requires a checkpoint directory")
+    if config.scenario is not None:
+        raise ValueError(
+            "grid scans take a scenario-free base config; member scenarios "
+            "derive their own configs from it"
+        )
+    from .columnar import resolve_scan_backend  # lazy: columnar imports us
+
+    scan_backend = resolve_scan_backend(scan_backend)
+    spec = spec or ReductionSpec()
+    scenarios = tuple(grid)
+    member_configs = {
+        scenario.name: scenario.population_config(base=config) for scenario in scenarios
+    }
+    shard_specs = plan_shards(config.size, shard_size)
+    multiprocess = workers > 1 and len(shard_specs) > 1
+
+    store: Optional[CheckpointStore] = None
+    if checkpoint_dir is not None:
+        store = CheckpointStore(checkpoint_dir)
+        store.bind_grid(config, shard_size, grid)
+
+    reducers = {
+        scenario.name: CampaignReducer(spec=spec, run_sweep=False)
+        for scenario in scenarios
+    }
+
+    indices = [shard.index for shard in shard_specs]
+    # Scenarios still to scan, per shard; resume drains (shard, scenario)
+    # pairs out of this map so a task only carries its missing members.
+    pending: Dict[int, List] = {index: list(scenarios) for index in indices}
+    if resume and store is not None:
+        for scenario in scenarios:
+            resumed = store.load_valid(
+                member_configs[scenario.name], shard_size, indices
+            )
+            for index in sorted(resumed):
+                reducers[scenario.name].add(resumed[index])
+                pending[index].remove(scenario)
+        if progress is not None:
+            folded = sum(len(scenarios) - len(missing) for missing in pending.values())
+            progress(
+                f"resumed {folded}/{len(indices) * len(scenarios)} "
+                f"(shard, scenario) checkpoints"
+            )
+
+    tasks_by_index: Dict[int, ShardTask] = {}
+    for shard in shard_specs:
+        missing = pending[shard.index]
+        if not missing:
+            continue
+        tasks_by_index[shard.index] = ShardTask(
+            index=shard.index,
+            population_config=config,
+            start=shard.start,
+            stop=shard.stop,
+            scan_backend=scan_backend,
+            grid_scenarios=tuple(missing),
+        )
+    to_run = sorted(tasks_by_index)
+    total_pairs = sum(len(task.grid_scenarios) for task in tasks_by_index.values())
+    reduced_pairs = 0
+
+    def make_payload(index: int, attempt: int):
+        return (tasks_by_index[index], spec, attempt, fault_plan)
+
+    def on_result(index: int, summaries: Tuple[ShardSummary, ...], attempt: int = 0) -> None:
+        nonlocal reduced_pairs
+        members = tasks_by_index[index].grid_scenarios
+        if len(summaries) != len(members):
+            raise ValueError(
+                f"grid worker returned {len(summaries)} summaries for "
+                f"{len(members)} scenarios on shard {index}"
+            )
+        for scenario, summary in zip(members, summaries):
+            if store is not None:
+                path = store.save(
+                    CheckpointKey.for_campaign(
+                        member_configs[scenario.name], shard_size, index
+                    ),
+                    summary,
+                    attempt=attempt,
+                )
+                if fault_plan is not None:
+                    fault_plan.apply_checkpoint_faults(index, path, attempt)
+            reducers[scenario.name].add(summary)
+        reduced_pairs += len(members)
+        if progress is not None:
+            progress(
+                f"shard {index}: {len(members)} scenario(s) reduced "
+                f"({reduced_pairs}/{total_pairs} pairs)"
+            )
+
+    try:
+        dispatch_with_retry(
+            to_run,
+            make_payload,
+            _scan_and_summarize_grid,
+            workers if multiprocess else 1,
+            retry_policy,
+            on_result,
+        )
+    except ShardDispatchError as error:
+        if store is not None:
+            completed = sorted(set(indices) - set(error.incomplete))
+            store.write_incomplete_manifest(completed, error.incomplete)
+        raise
+    if store is not None:
+        store.clear_incomplete_manifest()
+    return {scenario.name: reducers[scenario.name].reduced_scan() for scenario in scenarios}

@@ -1,8 +1,10 @@
 """First-class what-if scenarios over the reproduction pipeline.
 
-See :mod:`repro.scenarios.spec` for the contract.  The comparison helper is
-exposed lazily (PEP 562): it imports the campaign orchestrator, which itself
-imports the scanner stack that depends on this package's spec module.
+See :mod:`repro.scenarios.spec` for the contract and
+:mod:`repro.scenarios.grid` for multi-scenario sweeps.  The comparison and
+grid helpers are exposed lazily (PEP 562): they import the campaign
+orchestrator, which itself imports the scanner stack that depends on this
+package's spec module.
 """
 
 from .builtin import (
@@ -16,22 +18,39 @@ from .spec import ScenarioError, ScenarioSpec
 __all__ = [
     "BASELINE",
     "BASELINE_FINGERPRINT",
+    "BUILTIN_GRIDS",
     "BUILTIN_SCENARIOS",
+    "AdoptionCurve",
     "ScenarioComparison",
     "ScenarioError",
+    "ScenarioGrid",
     "ScenarioOutcome",
     "ScenarioSpec",
+    "compare_grid",
     "compare_scenarios",
+    "load_grid",
     "load_scenario",
     "outcome_from_results",
 ]
 
-_LAZY = {"compare_scenarios", "ScenarioComparison", "ScenarioOutcome", "outcome_from_results"}
+_LAZY_COMPARE = {
+    "compare_scenarios",
+    "compare_grid",
+    "AdoptionCurve",
+    "ScenarioComparison",
+    "ScenarioOutcome",
+    "outcome_from_results",
+}
+_LAZY_GRID = {"ScenarioGrid", "BUILTIN_GRIDS", "load_grid"}
 
 
 def __getattr__(name):
-    if name in _LAZY:
+    if name in _LAZY_COMPARE:
         from . import compare
 
         return getattr(compare, name)
+    if name in _LAZY_GRID:
+        from . import grid
+
+        return getattr(grid, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

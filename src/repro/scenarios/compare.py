@@ -8,11 +8,19 @@ distils the counterfactual headline numbers the paper argues about into a
 * the handshake-class funnel (1-RTT / RETRY / Multi-RTT / Amplification
   shares over reachable QUIC services),
 * amplification factors (share of handshakes exceeding the 3x limit, their
-  mean and maximum factor),
+  median, mean and maximum factor),
 * the compression rescue share (QUIC chains that fit under the common
   deployment limit only once brotli-compressed).
 
-The table is deterministic for a given ``(scenarios, size, seed)`` — worker
+All member campaigns share one generation pass: comparisons route through
+:func:`~repro.scanners.orchestrator.run_grid_campaign` (cross-scenario shard
+reuse), so an N-scenario table costs ``1×generation + N×scan`` and reports
+progress per reduced shard instead of running N silent serial campaigns.
+:func:`compare_grid` sweeps a whole :class:`~repro.scenarios.grid.ScenarioGrid`
+the same way and renders the :class:`AdoptionCurve` — "median amplification vs
+compression adoption fraction", the paper's counterfactual asked properly.
+
+Every table is deterministic for a given ``(scenarios, size, seed)`` — worker
 count and shard size never change the numbers (the streaming reduction
 contract) — so it can be diffed, committed, or pinned by tests.
 """
@@ -20,7 +28,7 @@ contract) — so it can be diffed, committed, or pinned by tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..quic.handshake import HandshakeClass
 from .builtin import load_scenario
@@ -54,10 +62,28 @@ class ScenarioOutcome:
     amplification_max: float
     #: Share of QUIC chains that fit the common limit only once compressed.
     compression_rescue_share: float
+    #: Median amplification factor over the exceeding handshakes (lower
+    #: weighted median; 0 when none exceed).  Appended with a default so
+    #: positional construction predating the field stays valid.
+    amplification_median: float = 0.0
 
     @property
     def one_rtt_share(self) -> float:
         return dict(self.class_shares).get(HandshakeClass.ONE_RTT.value, 0.0)
+
+
+def _weighted_median(counts: Mapping[float, int]) -> float:
+    """Lower weighted median of a ``value → count`` multiset (0 when empty)."""
+    total = sum(counts.values())
+    if not total:
+        return 0.0
+    midpoint = (total - 1) // 2
+    seen = 0
+    for value in sorted(counts):
+        seen += counts[value]
+        if seen > midpoint:
+            return value
+    return 0.0
 
 
 def outcome_from_results(scenario: ScenarioSpec, results) -> ScenarioOutcome:
@@ -94,6 +120,7 @@ def outcome_from_results(scenario: ScenarioSpec, results) -> ScenarioOutcome:
         amplification_mean=amplification_mean,
         amplification_max=amplification_max,
         compression_rescue_share=rescue_share,
+        amplification_median=_weighted_median(scan.amp_factor_counts),
     )
 
 
@@ -199,6 +226,38 @@ class ScenarioComparison:
         return "\n".join(lines)
 
 
+def _grid_outcomes(
+    grid,
+    size: int,
+    seed: int,
+    workers: Optional[int],
+    shard_size: Optional[int],
+    spoofed_targets_per_provider: int,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    scan_backend: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Tuple[ScenarioOutcome, ...]:
+    """One shared-generation sweep over ``grid``, reduced to outcomes."""
+    from ..scanners.orchestrator import run_grid_campaign
+    from ..webpki.population import PopulationConfig
+
+    results = run_grid_campaign(
+        grid,
+        config=PopulationConfig(size=size, seed=seed),
+        workers=workers,
+        shard_size=shard_size,
+        spoofed_targets_per_provider=spoofed_targets_per_provider,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        scan_backend=scan_backend,
+        progress=progress,
+    )
+    return tuple(
+        outcome_from_results(scenario, results[scenario.name]) for scenario in grid
+    )
+
+
 def compare_scenarios(
     scenarios: Sequence[Union[ScenarioSpec, str]],
     size: int = 1200,
@@ -206,16 +265,21 @@ def compare_scenarios(
     workers: Optional[int] = None,
     shard_size: Optional[int] = None,
     spoofed_targets_per_provider: int = 25,
+    progress: Optional[Callable[[str], None]] = None,
 ) -> ScenarioComparison:
-    """Run each scenario through the streaming pipeline and tabulate deltas.
+    """Run the scenarios as one shared-generation sweep and tabulate deltas.
 
     ``scenarios`` may mix :class:`ScenarioSpec` values with built-in names or
     JSON file paths (resolved via :func:`~repro.scenarios.builtin.load_scenario`).
     The first scenario is the reference column; by convention start with
     ``baseline-2022``.  All campaigns share ``size``/``seed``, so every delta
     is attributable to the scenario alone.
+
+    The member campaigns route through the shared grid dispatch path
+    (cross-scenario shard reuse): one generation pass, N scans, ``progress``
+    lines as shards reduce — and numbers identical to N independent runs.
     """
-    from ..scanners.orchestrator import MeasurementCampaign
+    from .grid import ScenarioGrid
 
     if not scenarios:
         raise ScenarioError("compare_scenarios needs at least one scenario")
@@ -223,14 +287,122 @@ def compare_scenarios(
         scenario if isinstance(scenario, ScenarioSpec) else load_scenario(scenario)
         for scenario in scenarios
     ]
-    outcomes = []
-    for spec in specs:
-        campaign = MeasurementCampaign(
-            population_config=spec.population_config(size=size, seed=seed),
-            workers=workers,
-            shard_size=shard_size,
-            stream=True,
-            spoofed_targets_per_provider=spoofed_targets_per_provider,
+    grid = ScenarioGrid(
+        name="comparison",
+        description="ad-hoc comparison grid",
+        scenarios=tuple(specs),
+    )
+    outcomes = _grid_outcomes(
+        grid, size, seed, workers, shard_size, spoofed_targets_per_provider,
+        progress=progress,
+    )
+    return ScenarioComparison(outcomes=outcomes, population_size=size, seed=seed)
+
+
+@dataclass(frozen=True)
+class AdoptionCurve:
+    """A grid sweep rendered as an adoption-curve table.
+
+    One row per grid member, in grid order.  Members with the
+    :attr:`~repro.scenarios.spec.ScenarioSpec.compression_adoption` knob set
+    are labelled by their adoption fraction — the canonical
+    ``compression-adoption`` grid renders as "median amplification vs
+    compression adoption fraction" — and any other member is labelled by its
+    scenario name, so mixed grids (axis products, what-if bundles) tabulate
+    the same way.  Deterministic for a given ``(grid, size, seed)``.
+    """
+
+    grid_name: str
+    population_size: int
+    seed: int
+    outcomes: Tuple[ScenarioOutcome, ...]
+
+    @staticmethod
+    def _label(outcome: ScenarioOutcome) -> str:
+        adoption = outcome.scenario.compression_adoption
+        if adoption is not None:
+            return f"{adoption:.0%}"
+        return outcome.scenario.name
+
+    def rows(self) -> List[Tuple[str, ScenarioOutcome]]:
+        return [(self._label(outcome), outcome) for outcome in self.outcomes]
+
+    def render_text(self) -> str:
+        header = [
+            "adoption",
+            "exceeds 3x",
+            "median amp",
+            "mean amp",
+            "max amp",
+            "1-RTT share",
+            "compression rescue",
+        ]
+        body: List[List[str]] = []
+        for label, outcome in self.rows():
+            body.append(
+                [
+                    label,
+                    f"{outcome.exceeding_share:.2%}",
+                    f"{outcome.amplification_median:.2f}x",
+                    f"{outcome.amplification_mean:.2f}x",
+                    f"{outcome.amplification_max:.2f}x",
+                    f"{outcome.one_rtt_share:.2%}",
+                    f"{outcome.compression_rescue_share:.2%}",
+                ]
+            )
+        widths = [
+            max(len(row[column]) for row in [header] + body)
+            for column in range(len(header))
+        ]
+        lines = [
+            f"Adoption curve — {self.grid_name}: median amplification vs "
+            f"compression adoption fraction ({self.population_size} domains, "
+            f"seed {self.seed})"
+        ]
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(header, widths))
         )
-        outcomes.append(outcome_from_results(spec, campaign.run()))
-    return ScenarioComparison(outcomes=tuple(outcomes), population_size=size, seed=seed)
+        lines.append("  ".join("-" * width for width in widths))
+        for row in body:
+            lines.append(
+                "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+
+def compare_grid(
+    grid,
+    size: int = 1200,
+    seed: int = 2022,
+    workers: Optional[int] = None,
+    shard_size: Optional[int] = None,
+    spoofed_targets_per_provider: int = 25,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    scan_backend: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> AdoptionCurve:
+    """Sweep a scenario grid in one shared-generation campaign.
+
+    ``grid`` is a :class:`~repro.scenarios.grid.ScenarioGrid` or anything
+    :func:`~repro.scenarios.grid.load_grid` resolves (a built-in grid name, a
+    grid JSON file, a comma-separated scenario list).  Returns the
+    :class:`AdoptionCurve` over the per-scenario results; pass
+    ``checkpoint_dir``/``resume`` to make long sweeps durable at
+    ``(shard, scenario)`` granularity.
+    """
+    from .grid import ScenarioGrid, load_grid
+
+    if not isinstance(grid, ScenarioGrid):
+        grid = load_grid(str(grid))
+    outcomes = _grid_outcomes(
+        grid, size, seed, workers, shard_size, spoofed_targets_per_provider,
+        checkpoint_dir=checkpoint_dir, resume=resume, scan_backend=scan_backend,
+        progress=progress,
+    )
+    return AdoptionCurve(
+        grid_name=grid.name,
+        population_size=size,
+        seed=seed,
+        outcomes=outcomes,
+    )

@@ -45,6 +45,7 @@ from ..quic.profiles import (
     BUILTIN_PROFILES,
     ServerBehaviorProfile,
     with_universal_compression,
+    without_compression,
 )
 from ..tls.cert_compression import CertificateCompressionAlgorithm
 from ..x509.keys import KeyAlgorithm
@@ -105,6 +106,20 @@ class ScenarioSpec:
     #: Client Initial size used for the single-size analysis scan (``None``:
     #: the pipeline default, 1362 bytes).
     analysis_initial_size: Optional[int] = None
+    #: Fraction of servers that deploy RFC 8879 certificate compression —
+    #: the *partial*-adoption counterfactual behind adoption-curve sweeps.
+    #: Adopters gain brotli; every *other* server has compression stripped
+    #: (several baseline stacks already link a capable TLS library, so
+    #: without stripping the curve's low end would not be a no-compression
+    #: world).  Selection is a deterministic, RNG-free hash of the domain
+    #: name and is monotone in the fraction: a domain that adopts at 30%
+    #: still adopts at 40%, so grid points nest the way a real rollout
+    #: would.  ``None`` keeps the baseline mix; ``1.0`` is equivalent
+    #: (wire-byte-for-wire-byte) to :attr:`universal_compression`, which
+    #: supersedes this knob when both are set.  Like the other knobs this
+    #: only flips *server* support; pair it with ``client_compression`` so
+    #: compressed flights actually happen.
+    compression_adoption: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.name or not isinstance(self.name, str):
@@ -159,6 +174,20 @@ class ScenarioSpec:
                 f"within [{MIN_INITIAL_SIZE}, {MAX_INITIAL_SIZE}] "
                 f"(got {self.analysis_initial_size!r})"
             )
+        if self.compression_adoption is not None:
+            if (
+                not isinstance(self.compression_adoption, (int, float))
+                or isinstance(self.compression_adoption, bool)
+                or not (0.0 <= self.compression_adoption <= 1.0)
+            ):
+                raise ScenarioError(
+                    f"scenario {self.name!r}: compression_adoption must be a "
+                    f"fraction within [0.0, 1.0] (got {self.compression_adoption!r})"
+                )
+            # Normalise to float so 0 and 0.0 fingerprint identically.
+            object.__setattr__(
+                self, "compression_adoption", float(self.compression_adoption)
+            )
         for source, target in self.profile_overrides:
             if source not in BUILTIN_PROFILES:
                 raise ScenarioError(
@@ -195,11 +224,12 @@ class ScenarioSpec:
             and not self.client_compression
             and not self.profile_overrides
             and self.analysis_initial_size is None
+            and self.compression_adoption is None
         )
 
     def canonical_dict(self) -> Dict[str, object]:
         """The fingerprinted knob set (description excluded: it is cosmetic)."""
-        return {
+        payload: Dict[str, object] = {
             "name": self.name,
             "population": {key: value for key, value in self.population_overrides},
             "leaf_key_algorithm": (
@@ -211,6 +241,13 @@ class ScenarioSpec:
             "profile_overrides": {source: target for source, target in self.profile_overrides},
             "analysis_initial_size": self.analysis_initial_size,
         }
+        # Knobs that postdate the fingerprint format join the canonical dict
+        # only when set, so every pre-existing spec — baseline included —
+        # keeps its fingerprint (and therefore its golden digests, checkpoint
+        # addresses and report stamps) byte-for-byte.
+        if self.compression_adoption is not None:
+            payload["compression_adoption"] = self.compression_adoption
+        return payload
 
     def fingerprint(self) -> str:
         """SHA-256 over the canonical knob set.
@@ -243,7 +280,7 @@ class ScenarioSpec:
         known = {
             "name", "description", "population", "leaf_key_algorithm",
             "trim_chain_depth", "universal_compression", "client_compression",
-            "profile_overrides", "analysis_initial_size",
+            "profile_overrides", "analysis_initial_size", "compression_adoption",
         }
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -286,6 +323,7 @@ class ScenarioSpec:
             client_compression=tuple(client_compression),
             profile_overrides=tuple(sorted(profile_overrides.items())),
             analysis_initial_size=payload.get("analysis_initial_size"),
+            compression_adoption=payload.get("compression_adoption"),
         )
 
     @classmethod
@@ -359,6 +397,25 @@ class ScenarioSpec:
             object.__setattr__(self, "_profile_map_cache", cached)
         return cached
 
+    def adopts_compression(self, domain: str) -> bool:
+        """Whether ``domain`` deploys RFC 8879 under this scenario's adoption fraction.
+
+        Deterministic and RNG-free (a SHA-256 of the domain mapped onto
+        ``[0, 1)``), so it composes with the per-shard RNG contract exactly
+        like every other skeleton transform.  Monotone in
+        :attr:`compression_adoption`: the adopter set at fraction *f* is a
+        subset of the set at any *f' > f*.
+        """
+        if self.compression_adoption is None:
+            return False
+        if self.compression_adoption >= 1.0:
+            return True
+        digest = hashlib.sha256(
+            f"compression-adoption:{domain}".encode("utf-8")
+        ).digest()
+        draw = int.from_bytes(digest[:8], "big") / 2**64
+        return draw < self.compression_adoption
+
     def transform_server_behavior(
         self, behavior: Optional[ServerBehaviorProfile]
     ) -> Optional[ServerBehaviorProfile]:
@@ -398,6 +455,20 @@ class ScenarioSpec:
         """
         changes: Dict[str, object] = {}
         behavior = self.transform_server_behavior(skeleton.server_behavior)
+        if (
+            behavior is not None
+            and not self.universal_compression
+            and self.compression_adoption is not None
+        ):
+            # Partial adoption is per-domain, so it lives here (where the
+            # domain is known) rather than in transform_server_behavior.
+            # Both helpers are lru_cached: every (non-)adopter of the same
+            # base profile shares one substituted instance, keeping the
+            # flight-plan and columnar caches keyed identically.
+            if self.adopts_compression(skeleton.domain):
+                behavior = with_universal_compression(behavior)
+            else:
+                behavior = without_compression(behavior)
         if behavior is not skeleton.server_behavior:
             changes["server_behavior"] = behavior
         for attribute in ("https_spec", "quic_spec"):

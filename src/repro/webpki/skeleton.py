@@ -190,18 +190,37 @@ class DeploymentSkeleton:
 
     # -- phase 2 ---------------------------------------------------------------
 
-    def materialize(self, hierarchy: Optional[WebPkiHierarchy] = None) -> DomainDeployment:
-        """Issue the recorded chains and assemble the eager deployment."""
+    def materialize(
+        self,
+        hierarchy: Optional[WebPkiHierarchy] = None,
+        chain_cache: Optional[Dict[ChainSpec, CertificateChain]] = None,
+    ) -> DomainDeployment:
+        """Issue the recorded chains and assemble the eager deployment.
+
+        ``chain_cache`` (a ``ChainSpec → CertificateChain`` dict the caller
+        owns) skips issuance for specs already materialised — sound because a
+        :class:`ChainSpec` is a pure value: equal specs materialise
+        byte-identical chains.  The multi-scenario shard visit uses one cache
+        across every scenario of a visit, so a chain untouched by N transforms
+        is issued once, not N times.
+        """
         hierarchy = hierarchy or default_hierarchy()
-        https_chain = (
-            self.https_spec.materialize(hierarchy) if self.https_spec is not None else None
-        )
+
+        def issue(spec: Optional[ChainSpec]) -> Optional[CertificateChain]:
+            if spec is None:
+                return None
+            if chain_cache is None:
+                return spec.materialize(hierarchy)
+            chain = chain_cache.get(spec)
+            if chain is None:
+                chain = chain_cache[spec] = spec.materialize(hierarchy)
+            return chain
+
+        https_chain = issue(self.https_spec)
         if self.quic_shares_https:
             quic_chain = https_chain
-        elif self.quic_spec is not None:
-            quic_chain = self.quic_spec.materialize(hierarchy)
         else:
-            quic_chain = None
+            quic_chain = issue(self.quic_spec)
         return DomainDeployment(
             domain=self.domain,
             rank=self.rank,

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import os
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -150,6 +152,94 @@ class TestScenarioCommands:
     def test_compare_with_unknown_scenario_fails_readably(self, capsys):
         assert main(["compare", "--scenarios", "nope", "--size", "250"]) == 2
         assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestGridCommands:
+    def test_scenarios_grid_dry_runs_the_expansion(self, capsys):
+        assert main(["scenarios", "--grid", "compression-adoption"]) == 0
+        output = capsys.readouterr().out
+        assert "Scenario grid 'compression-adoption' — 11 members" in output
+        assert "compression-adoption-000" in output
+        assert "compression-adoption-100" in output
+        # Every member line carries its fingerprint prefix (16 hex chars).
+        member_lines = [
+            line for line in output.splitlines()
+            if line.strip().startswith("compression-adoption-")
+        ]
+        assert len(member_lines) == 11
+        for line in member_lines:
+            fingerprint = line.split()[-1]
+            assert len(fingerprint) == 16
+            int(fingerprint, 16)
+
+    def test_scenarios_grid_with_malformed_file_fails_readably(self, tmp_path, capsys):
+        bad = tmp_path / "grid.json"
+        bad.write_text("[1, 2", encoding="utf-8")
+        assert main(["scenarios", "--grid", str(bad)]) == 2
+        error = capsys.readouterr().err
+        assert error.startswith("error:") and "not valid JSON" in error
+
+    def test_campaign_scenario_grid_writes_one_report_per_member(self, tmp_path, capsys):
+        out_dir = tmp_path / "reports"
+        assert main(
+            ["campaign", "--size", "250",
+             "--scenario-grid", "baseline-2022,trimmed-chains",
+             "--output", str(out_dir)]
+        ) == 0
+        assert sorted(os.listdir(out_dir)) == [
+            "baseline-2022.report.txt", "trimmed-chains.report.txt",
+        ]
+        trimmed = (out_dir / "trimmed-chains.report.txt").read_text()
+        assert "scenario: trimmed-chains" in trimmed
+
+    def test_campaign_scenario_grid_excludes_scenario_and_sweep(self, capsys):
+        assert main(
+            ["campaign", "--size", "250", "--scenario-grid", "what-ifs",
+             "--scenario", "baseline-2022"]
+        ) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+        assert main(
+            ["campaign", "--size", "250", "--scenario-grid", "what-ifs", "--sweep"]
+        ) == 2
+        assert "--sweep" in capsys.readouterr().err
+
+    def test_campaign_with_unknown_grid_fails_readably(self, capsys):
+        assert main(["campaign", "--size", "250", "--scenario-grid", "no-such-grid"]) == 2
+        error = capsys.readouterr().err
+        assert "unknown scenario grid 'no-such-grid'" in error
+        assert "compression-adoption" in error  # the message lists the built-ins
+
+    def test_compare_grid_prints_the_adoption_table(self, capsys):
+        assert main(
+            ["compare", "--grid", "baseline-2022,universal-compression",
+             "--size", "250"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "Adoption curve" in output
+        assert "median amplification vs compression adoption fraction" in output
+        assert "universal-compression" in output
+
+    def test_compare_grid_and_scenarios_are_mutually_exclusive(self, capsys):
+        assert main(
+            ["compare", "--grid", "what-ifs", "--scenarios", "baseline-2022"]
+        ) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_compare_with_malformed_grid_file_fails_readably(self, tmp_path, capsys):
+        bad = tmp_path / "grid.json"
+        bad.write_text('{"name": "x", "scenarios": [{"nope": 1}]}', encoding="utf-8")
+        assert main(["compare", "--grid", str(bad), "--size", "250"]) == 2
+        error = capsys.readouterr().err
+        assert error.startswith("error:") and "unknown scenario field" in error
+
+    def test_compare_progress_reports_reduced_shards(self, capsys):
+        assert main(
+            ["compare", "--scenarios", "baseline-2022,trimmed-chains",
+             "--size", "250", "--progress"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "Scenario comparison" in captured.out
+        assert "scenario(s) reduced" in captured.err
 
 
 class TestDurabilityFlags:
