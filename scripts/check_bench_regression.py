@@ -20,6 +20,12 @@ ratio — grid-sweep wall clock over N independent campaigns — is additionally
 gated against the hard :data:`MAX_SWEEP_RATIO` ceiling.  The ratio is
 within-run, so no cross-machine tolerance applies.
 
+Likewise a ``skeleton_cache`` section (measured with ``--skeleton-cache``):
+warm generation — replaying cached shards from disk — must stay under
+:data:`MAX_WARM_GENERATION_RATIO` of the cold pass that populated the cache,
+and the counters must show the warm pass was all hits.  Also within-run, so
+machine speed cancels out.
+
 Usage::
 
     python scripts/check_bench_regression.py FRESH.json --baseline BENCH_campaign.json
@@ -39,6 +45,12 @@ GATED_PHASES = ("scan", "reduce")
 #: across machines: a grid sweep that stops amortising generation shows up
 #: here no matter how fast the runner is.
 MAX_SWEEP_RATIO = 0.55
+
+#: Hard ceiling on skeleton_cache.warm_ratio (warm generation / cold
+#: generation).  Warm-start exists to skip generation entirely; a warm pass
+#: creeping toward the cold cost means the decode path regressed (or the
+#: cache quietly stopped hitting).  Within-run, machine-independent.
+MAX_WARM_GENERATION_RATIO = 0.15
 
 
 def load_payload(path: str) -> dict:
@@ -89,6 +101,47 @@ def check_sweep_ratio(fresh_payload: dict, path: str) -> int:
     return 0
 
 
+def check_warm_generation(fresh_payload: dict, path: str) -> int:
+    """Gate the skeleton-store warm/cold generation ratio, when measured.
+
+    Only runs when the fresh JSON carries a ``skeleton_cache`` section
+    (``profile_campaign.py --phases --skeleton-cache``); returns the number
+    of failures.
+    """
+    section = fresh_payload.get("skeleton_cache")
+    if not isinstance(section, dict):
+        return 0
+    ratio = section.get("warm_ratio")
+    if not isinstance(ratio, (int, float)):
+        raise SystemExit(f"{path!r} skeleton_cache has no numeric 'warm_ratio'")
+    print(
+        f"{'warm ratio':>12}: fresh {ratio:7.4f}    limit "
+        f"{MAX_WARM_GENERATION_RATIO:7.4f} "
+        f"(cold {section.get('cold_generation')}s, "
+        f"warm {section.get('warm_generation')}s)"
+    )
+    failures = 0
+    if ratio > MAX_WARM_GENERATION_RATIO:
+        print(
+            f"FAIL: warm generation ran at {ratio:.1%} of cold "
+            f"(ceiling {MAX_WARM_GENERATION_RATIO:.0%}) — the skeleton store "
+            f"stopped skipping generation",
+            file=sys.stderr,
+        )
+        failures += 1
+    warm_counters = section.get("warm_counters") or {}
+    if warm_counters.get("misses", 0):
+        print(
+            f"FAIL: the warm pass recorded {warm_counters['misses']} cache "
+            f"miss(es) — it regenerated shards it should have replayed",
+            file=sys.stderr,
+        )
+        failures += 1
+    if not failures:
+        print("OK: warm-start generation within ceiling")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Gate the columnar scan+reduce wall clock against a baseline."
@@ -127,6 +180,7 @@ def main(argv=None) -> int:
     )
 
     failures = check_sweep_ratio(fresh_payload, args.fresh)
+    failures += check_warm_generation(fresh_payload, args.fresh)
 
     if fresh_gated > limit:
         print(

@@ -77,6 +77,14 @@ def build_parser() -> argparse.ArgumentParser:
              "and only the reducer fold as 'reduce')",
     )
     parser.add_argument(
+        "--skeleton-cache", nargs="?", const="", default=None, metavar="DIR",
+        help="with --phases: also time generation through the persistent "
+             "skeleton store — one cold pass that populates the cache and a "
+             "warm pass that replays it from disk (no DIR: a temporary "
+             "directory, discarded afterwards); with --json the numbers land "
+             "in a 'skeleton_cache' section",
+    )
+    parser.add_argument(
         "--scenario-grid", type=str, default=None, metavar="GRID",
         help="with --phases: also profile a cross-scenario grid sweep "
              "(built-in grid name, grid JSON file, or comma-separated "
@@ -237,6 +245,94 @@ def _member_task(shard, member_config, scenario, scan_backend):
     )
 
 
+def profile_skeleton_cache(args: argparse.Namespace) -> dict:
+    """Time generation through the skeleton store: one cold pass, warm replays.
+
+    The cold pass populates a fresh cache while generating (RNG + issuance +
+    encode + atomic write); each warm pass drops the in-process decoded-shard
+    memo first (``reset_stores``), so it times the honest disk path: read,
+    verify, decode, materialise.  Warm passes repeat a few times and report
+    the minimum — the stable number a regression gate can pin — plus the
+    hit/miss counters proving the passes did what their names claim.
+    """
+    import shutil
+    import tempfile
+
+    from repro.scanners import skeleton_store
+    from repro.scanners.sharding import DEFAULT_SHARD_SIZE, ShardTask, plan_shards
+    from repro.webpki.population import PopulationConfig
+
+    config = PopulationConfig(size=args.size, seed=args.seed)
+    shard_size = args.shard_size or DEFAULT_SHARD_SIZE
+
+    directory = args.skeleton_cache
+    tempdir = None
+    if not directory:
+        tempdir = tempfile.TemporaryDirectory(prefix="repro-skel-")
+        directory = tempdir.name
+    else:
+        # An already-warm directory would turn the "cold" pass into a warm
+        # one; start from a clean slate so the two numbers mean what they say.
+        shutil.rmtree(directory, ignore_errors=True)
+
+    tasks = [
+        ShardTask(
+            index=shard.index,
+            population_config=config,
+            start=shard.start,
+            stop=shard.stop,
+            skeleton_cache_dir=directory,
+        )
+        for shard in plan_shards(config.size, shard_size)
+    ]
+
+    def generation_pass() -> float:
+        t0 = time.perf_counter()
+        for task in tasks:
+            tuple(task.resolve_deployments())
+        return time.perf_counter() - t0
+
+    skeleton_store.reset_stores()
+    skeleton_store.reset_cache_counters()
+    cold_seconds = generation_pass()
+    cold_counters = skeleton_store.cache_counters()
+
+    warm_samples = []
+    skeleton_store.reset_cache_counters()
+    for _ in range(3):
+        skeleton_store.reset_stores()
+        warm_samples.append(generation_pass())
+    warm_counters = skeleton_store.cache_counters()
+    warm_seconds = min(warm_samples)
+
+    store = skeleton_store.SkeletonStore(directory)
+    stats = store.stats()
+    if tempdir is not None:
+        tempdir.cleanup()
+    skeleton_store.reset_stores()
+
+    ratio = warm_seconds / cold_seconds if cold_seconds else None
+    section = {
+        "cold_generation": round(cold_seconds, 4),
+        "warm_generation": round(warm_seconds, 4),
+        "warm_ratio": round(ratio, 4) if ratio is not None else None,
+        "warm_samples": [round(sample, 4) for sample in warm_samples],
+        "cold_counters": cold_counters,
+        "warm_counters": warm_counters,
+        "entries": stats["entries"],
+        "bytes": stats["bytes"],
+    }
+    print(f"\nskeleton cache ({stats['entries']} generation shards, "
+          f"{stats['bytes']} bytes on disk):")
+    print(f"  cold generation (populates): {cold_seconds:8.2f} s "
+          f"({cold_counters['hits']} hits / {cold_counters['misses']} misses)")
+    print(f"  warm generation (replays):   {warm_seconds:8.2f} s "
+          f"({warm_counters['hits']} hits / {warm_counters['misses']} misses)")
+    if ratio is not None:
+        print(f"  warm / cold:                 {ratio:8.1%}")
+    return section
+
+
 def run_phases(args: argparse.Namespace) -> int:
     """Time each streaming-pipeline stage separately over one campaign."""
     from repro.analysis.report import build_report
@@ -379,6 +475,10 @@ def run_phases(args: argparse.Namespace) -> int:
             f"({info.hit_rate:.1%} hit rate, {info.currsize} entries)"
         )
 
+    skeleton_cache = None
+    if args.skeleton_cache is not None:
+        skeleton_cache = profile_skeleton_cache(args)
+
     sweep = None
     if args.scenario_grid:
         sweep = profile_grid_sweep(args)
@@ -401,6 +501,8 @@ def run_phases(args: argparse.Namespace) -> int:
             "python": platform.python_version(),
             "platform": platform.platform(),
         }
+        if skeleton_cache is not None:
+            payload["skeleton_cache"] = skeleton_cache
         if sweep is not None:
             payload["scenario_sweep"] = sweep
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -461,6 +563,8 @@ def main() -> int:
         parser.error("--json requires --phases")
     if args.scenario_grid is not None and not args.phases:
         parser.error("--scenario-grid requires --phases")
+    if args.skeleton_cache is not None and not args.phases:
+        parser.error("--skeleton-cache requires --phases")
     if args.phases:
         return run_phases(args)
     return run_cprofile(args)

@@ -7,6 +7,8 @@ writing code:
   what-if ``--scenario``) and print (or write) the evaluation report,
 * ``compare`` — run several scenarios and print a side-by-side delta table,
 * ``scenarios`` — list the built-in what-if scenarios,
+* ``skeletons`` — pre-warm, inspect or garbage-collect the persistent
+  skeleton-shard cache used by ``--skeleton-cache``,
 * ``predict`` — predict the handshake outcome for a CA chain profile and a
   client Initial size,
 * ``profiles`` — list the built-in CA chain profiles and server behaviours.
@@ -111,6 +113,15 @@ def build_parser() -> argparse.ArgumentParser:
              "default: the REPRO_SCAN_BACKEND environment variable, else "
              "'object'",
     )
+    campaign.add_argument(
+        "--skeleton-cache", type=str, default=None, metavar="DIR",
+        help="persist generation's baseline skeleton shards in this directory "
+             "and read them back on later runs (warm-start: generation "
+             "becomes a verified disk read, reports stay byte-identical); "
+             "composes with --stream, --checkpoint-dir/--resume, "
+             "--scenario-grid and both scan backends; pre-warm or inspect "
+             "with 'repro skeletons'",
+    )
 
     compare = subparsers.add_parser(
         "compare",
@@ -146,6 +157,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="print per-shard progress lines to stderr while the sweep runs",
     )
+    compare.add_argument(
+        "--skeleton-cache", type=str, default=None, metavar="DIR",
+        help="read/write the persistent skeleton-shard cache in DIR "
+             "(see 'repro campaign --help')",
+    )
 
     scenarios = subparsers.add_parser("scenarios", help="list the built-in what-if scenarios")
     scenarios.add_argument(
@@ -156,6 +172,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--grid", type=str, default=None, metavar="GRID|FILE.json",
         help="dry-run a scenario grid instead: expand it and list every "
              "member with its fingerprint (nothing is generated or scanned)",
+    )
+
+    skeletons = subparsers.add_parser(
+        "skeletons",
+        help="manage the persistent skeleton-shard cache (pre-warm, inspect, gc)",
+    )
+    skeleton_actions = skeletons.add_subparsers(dest="action", required=True)
+    skel_warm = skeleton_actions.add_parser(
+        "warm",
+        help="pre-generate every baseline shard of a population into the cache "
+             "so later campaigns warm-start",
+    )
+    skel_warm.add_argument("directory", help="cache directory (created if missing)")
+    skel_warm.add_argument("--size", type=int, default=3000, help="population size (default: 3000)")
+    skel_warm.add_argument("--seed", type=int, default=2022, help="population seed (default: 2022)")
+    skel_warm.add_argument(
+        "--shards", type=str, default=None, metavar="I[,J...]",
+        help="warm only these generation-shard indices (default: all)",
+    )
+    skel_stats = skeleton_actions.add_parser(
+        "stats", help="show entry count, bytes, quarantine count and binding"
+    )
+    skel_stats.add_argument("directory", help="cache directory")
+    skel_gc = skeleton_actions.add_parser(
+        "gc",
+        help="empty the quarantine; with --size/--seed also drop entries that "
+             "are not content addresses of that population",
+    )
+    skel_gc.add_argument("directory", help="cache directory")
+    skel_gc.add_argument(
+        "--size", type=int, default=None,
+        help="population size whose entries to keep (with --seed)",
+    )
+    skel_gc.add_argument(
+        "--seed", type=int, default=None,
+        help="population seed whose entries to keep (with --size)",
     )
 
     predict = subparsers.add_parser("predict", help="predict the handshake class for a chain profile")
@@ -236,38 +288,18 @@ def _run_campaign(args: argparse.Namespace) -> int:
         except ScenarioError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+    from .scanners.skeleton_store import SkeletonStoreError
+
     t0 = time.perf_counter()
-    if args.stream:
-        # Streaming regenerates inside the workers: generation time is part of
-        # the campaign phase (scripts/profile_campaign.py --phases splits it).
-        campaign = MeasurementCampaign(
-            population_config=config,
-            run_sweep=args.sweep,
-            workers=args.workers,
-            shard_size=args.shard_size,
-            stream=True,
-            checkpoint_dir=args.checkpoint_dir,
-            resume=args.resume,
-            retry_policy=retry_policy,
-            fault_plan=fault_plan,
-            scan_backend=args.scan_backend,
-        )
-    else:
-        # Only the explicit flag switches the eager pipeline's backend; the
-        # environment knob applies to streamed runs (resolved inside
-        # run_streaming_scan), so it cannot silently change eager internals.
-        campaign = MeasurementCampaign(
-            population=generate_population(config),
-            run_sweep=args.sweep,
-            workers=args.workers,
-            shard_size=args.shard_size,
-            retry_policy=retry_policy,
-            scan_backend=args.scan_backend,
-        )
+    try:
+        campaign = _build_campaign(args, config, retry_policy, fault_plan)
+    except SkeletonStoreError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     t1 = time.perf_counter()
     try:
         results = campaign.run()
-    except CheckpointError as error:
+    except (CheckpointError, SkeletonStoreError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except ShardDispatchError as error:
@@ -301,6 +333,40 @@ def _run_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_campaign(args, config, retry_policy, fault_plan) -> MeasurementCampaign:
+    if args.stream:
+        # Streaming regenerates inside the workers: generation time is part of
+        # the campaign phase (scripts/profile_campaign.py --phases splits it).
+        return MeasurementCampaign(
+            population_config=config,
+            run_sweep=args.sweep,
+            workers=args.workers,
+            shard_size=args.shard_size,
+            stream=True,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            retry_policy=retry_policy,
+            fault_plan=fault_plan,
+            scan_backend=args.scan_backend,
+            skeleton_cache_dir=args.skeleton_cache,
+        )
+    # Only the explicit flag switches the eager pipeline's backend; the
+    # environment knob applies to streamed runs (resolved inside
+    # run_streaming_scan), so it cannot silently change eager internals.
+    # Eager generation routes through the campaign when a skeleton cache is
+    # requested, so --skeleton-cache warm-starts it too.
+    return MeasurementCampaign(
+        population=(None if args.skeleton_cache else generate_population(config)),
+        population_config=config,
+        run_sweep=args.sweep,
+        workers=args.workers,
+        shard_size=args.shard_size,
+        retry_policy=retry_policy,
+        scan_backend=args.scan_backend,
+        skeleton_cache_dir=args.skeleton_cache,
+    )
+
+
 def _run_grid_campaign(args, config, retry_policy, fault_plan) -> int:
     """The ``campaign --scenario-grid`` branch: one generation, N reports.
 
@@ -316,6 +382,7 @@ def _run_grid_campaign(args, config, retry_policy, fault_plan) -> int:
     from .scanners.checkpoint import CheckpointError
     from .scanners.orchestrator import run_grid_campaign
     from .scanners.sharding import ShardDispatchError
+    from .scanners.skeleton_store import SkeletonStoreError
     from .scenarios import load_grid
 
     try:
@@ -340,8 +407,9 @@ def _run_grid_campaign(args, config, retry_policy, fault_plan) -> int:
             fault_plan=fault_plan,
             scan_backend=args.scan_backend,
             progress=progress,
+            skeleton_cache_dir=args.skeleton_cache,
         )
-    except CheckpointError as error:
+    except (CheckpointError, SkeletonStoreError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except ShardDispatchError as error:
@@ -436,6 +504,8 @@ def _run_compare(args: argparse.Namespace) -> int:
         def progress(line: str) -> None:
             print(line, file=sys.stderr)
 
+    from .scanners.skeleton_store import SkeletonStoreError
+
     if args.grid:
         try:
             curve = compare_grid(
@@ -446,8 +516,9 @@ def _run_compare(args: argparse.Namespace) -> int:
                 shard_size=args.shard_size,
                 scan_backend=args.scan_backend,
                 progress=progress,
+                skeleton_cache_dir=args.skeleton_cache,
             )
-        except ScenarioError as error:
+        except (ScenarioError, SkeletonStoreError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
         print(curve.render_text())
@@ -466,11 +537,65 @@ def _run_compare(args: argparse.Namespace) -> int:
             workers=args.workers,
             shard_size=args.shard_size,
             progress=progress,
+            skeleton_cache_dir=args.skeleton_cache,
         )
-    except ScenarioError as error:
+    except (ScenarioError, SkeletonStoreError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(comparison.render_text())
+    return 0
+
+
+def _run_skeletons(args: argparse.Namespace) -> int:
+    from .scanners.skeleton_store import SkeletonStore, SkeletonStoreError, warm
+
+    store = SkeletonStore(args.directory)
+    if args.action == "warm":
+        config = PopulationConfig(size=args.size, seed=args.seed)
+        indices = None
+        if args.shards:
+            try:
+                indices = [int(part) for part in args.shards.split(",") if part.strip()]
+            except ValueError:
+                print(f"error: --shards must be integers: {args.shards!r}", file=sys.stderr)
+                return 2
+        try:
+            hits, misses = warm(store, config, shard_indices=indices)
+        except SkeletonStoreError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(
+            f"warmed {hits + misses} shard(s) for size={args.size} seed={args.seed}: "
+            f"{misses} generated, {hits} already cached"
+        )
+        return 0
+    if args.action == "stats":
+        stats = store.stats()
+        metadata = stats["metadata"] or {}
+        print(f"directory:   {stats['directory']}")
+        print(f"entries:     {stats['entries']}")
+        print(f"bytes:       {stats['bytes']}")
+        print(f"quarantined: {stats['quarantined']}")
+        if metadata:
+            print(
+                "bound to:    seed={seed} size={size} "
+                "generation_shard_size={generation_shard_size} ({format})".format(**metadata)
+            )
+        else:
+            print("bound to:    (unbound — no skeletons.json yet)")
+        return 0
+    # gc
+    if (args.size is None) != (args.seed is None):
+        print("error: gc needs --size and --seed together (or neither)", file=sys.stderr)
+        return 2
+    config = (
+        PopulationConfig(size=args.size, seed=args.seed) if args.size is not None else None
+    )
+    removed = store.gc(config)
+    print(
+        f"removed {removed['stale']} stale entr{'y' if removed['stale'] == 1 else 'ies'}, "
+        f"{removed['quarantined']} quarantined file(s)"
+    )
     return 0
 
 
@@ -525,6 +650,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_compare(args)
     if args.command == "scenarios":
         return _run_scenarios(args)
+    if args.command == "skeletons":
+        return _run_skeletons(args)
     if args.command == "predict":
         return _run_predict(args)
     if args.command == "profiles":

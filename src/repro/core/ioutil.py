@@ -11,8 +11,87 @@ the complete previous file or the complete new one, never a torn write.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import tempfile
+
+
+class SelfVerifyingFormatError(ValueError):
+    """Bytes failed self-verifying header parsing (torn/corrupt/foreign file)."""
+
+
+def encode_self_verifying(format_tag: bytes, payload: bytes) -> bytes:
+    """Wrap ``payload`` in the shared ``<tag> <len> <sha256>\\n`` header.
+
+    The header makes the file self-verifying: a reader can detect a stale
+    format, a truncated write or a flipped bit without trusting anything but
+    the bytes themselves.  Both on-disk stores (``scanners/checkpoint.py``,
+    ``scanners/skeleton_store.py``) share this one layout and differ only in
+    their ``format_tag`` magic string.
+    """
+    header = b"%s %d %s\n" % (
+        format_tag,
+        len(payload),
+        hashlib.sha256(payload).hexdigest().encode("ascii"),
+    )
+    return header + payload
+
+
+def decode_self_verifying(format_tag: bytes, data: bytes, label: str = "file") -> bytes:
+    """Verify the self-verifying header and return the payload bytes.
+
+    Raises :class:`SelfVerifyingFormatError` on any defect — missing or
+    malformed header, unknown format version, length mismatch (truncation)
+    or digest mismatch (corruption).  ``label`` names the artifact kind in
+    error messages ("checkpoint", "skeleton shard", ...); callers typically
+    wrap the error in their own store-specific exception and quarantine the
+    file.
+    """
+    newline = data.find(b"\n")
+    if newline < 0:
+        raise SelfVerifyingFormatError(f"{label} has no header line")
+    parts = data[:newline].split(b" ")
+    if len(parts) != 3:
+        raise SelfVerifyingFormatError(f"{label} header is malformed")
+    if parts[0] != format_tag:
+        raise SelfVerifyingFormatError(
+            f"{label} format {parts[0].decode('ascii', 'replace')!r} is not "
+            f"{format_tag.decode('ascii')!r}"
+        )
+    try:
+        length = int(parts[1])
+    except ValueError as error:
+        raise SelfVerifyingFormatError(
+            f"{label} header length is not an integer"
+        ) from error
+    payload = data[newline + 1 :]
+    if len(payload) != length:
+        raise SelfVerifyingFormatError(
+            f"{label} payload is {len(payload)} bytes, header promises {length} "
+            "(truncated write?)"
+        )
+    digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+    if digest != parts[2]:
+        raise SelfVerifyingFormatError(f"{label} payload digest mismatch (corrupt file)")
+    return payload
+
+
+def quarantine_file(path: str, quarantine_directory: str) -> str:
+    """Move a failed-verification file into quarantine (kept, never trusted).
+
+    The file is preserved as evidence rather than deleted; name collisions in
+    the quarantine directory get a ``.N`` counter suffix so repeated failures
+    never overwrite each other.  Returns the destination path.
+    """
+    os.makedirs(quarantine_directory, exist_ok=True)
+    base = os.path.basename(path)
+    destination = os.path.join(quarantine_directory, base)
+    counter = 0
+    while os.path.exists(destination):
+        counter += 1
+        destination = os.path.join(quarantine_directory, f"{base}.{counter}")
+    os.replace(path, destination)
+    return destination
 
 
 def atomic_write_bytes(path: str, data: bytes) -> None:

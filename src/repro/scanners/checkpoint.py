@@ -39,7 +39,14 @@ import pickle
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Sequence
 
-from ..core.ioutil import atomic_write_bytes, atomic_write_text
+from ..core.ioutil import (
+    SelfVerifyingFormatError,
+    atomic_write_bytes,
+    atomic_write_text,
+    decode_self_verifying,
+    encode_self_verifying,
+    quarantine_file,
+)
 from ..scenarios import BASELINE
 from ..webpki.population import PopulationConfig
 
@@ -102,12 +109,7 @@ class CheckpointKey:
 def encode_checkpoint(summary: object) -> bytes:
     """Serialise a shard summary with the self-verifying header."""
     payload = pickle.dumps(summary, protocol=pickle.HIGHEST_PROTOCOL)
-    header = b"%s %d %s\n" % (
-        CHECKPOINT_FORMAT,
-        len(payload),
-        hashlib.sha256(payload).hexdigest().encode("ascii"),
-    )
-    return header + payload
+    return encode_self_verifying(CHECKPOINT_FORMAT, payload)
 
 
 def decode_checkpoint(data: bytes) -> object:
@@ -117,30 +119,10 @@ def decode_checkpoint(data: bytes) -> object:
     header, unknown format version, length mismatch (truncation) or digest
     mismatch (corruption).  Callers quarantine on failure.
     """
-    newline = data.find(b"\n")
-    if newline < 0:
-        raise CheckpointError("checkpoint has no header line")
-    parts = data[:newline].split(b" ")
-    if len(parts) != 3:
-        raise CheckpointError("checkpoint header is malformed")
-    if parts[0] != CHECKPOINT_FORMAT:
-        raise CheckpointError(
-            f"checkpoint format {parts[0].decode('ascii', 'replace')!r} is not "
-            f"{CHECKPOINT_FORMAT.decode('ascii')!r}"
-        )
     try:
-        length = int(parts[1])
-    except ValueError as error:
-        raise CheckpointError("checkpoint header length is not an integer") from error
-    payload = data[newline + 1 :]
-    if len(payload) != length:
-        raise CheckpointError(
-            f"checkpoint payload is {len(payload)} bytes, header promises {length} "
-            "(truncated write?)"
-        )
-    digest = hashlib.sha256(payload).hexdigest().encode("ascii")
-    if digest != parts[2]:
-        raise CheckpointError("checkpoint payload digest mismatch (corrupt file)")
+        payload = decode_self_verifying(CHECKPOINT_FORMAT, data, label="checkpoint")
+    except SelfVerifyingFormatError as error:
+        raise CheckpointError(str(error)) from error
     try:
         return pickle.loads(payload)
     except Exception as error:  # pickle raises a zoo of types on bad input
@@ -274,15 +256,7 @@ class CheckpointStore:
 
     def quarantine(self, path: str) -> str:
         """Move a failed-verification file into ``quarantine/`` (kept, not trusted)."""
-        os.makedirs(self.quarantine_directory, exist_ok=True)
-        base = os.path.basename(path)
-        destination = os.path.join(self.quarantine_directory, base)
-        counter = 0
-        while os.path.exists(destination):
-            counter += 1
-            destination = os.path.join(self.quarantine_directory, f"{base}.{counter}")
-        os.replace(path, destination)
-        return destination
+        return quarantine_file(path, self.quarantine_directory)
 
     def load(self, key: CheckpointKey) -> Optional[object]:
         """Load one shard's checkpoint, or ``None`` if absent or invalid.

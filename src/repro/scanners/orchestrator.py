@@ -167,6 +167,7 @@ class MeasurementCampaign:
         retry_policy=None,
         fault_plan=None,
         scan_backend: Optional[str] = None,
+        skeleton_cache_dir: Optional[str] = None,
     ) -> None:
         self.stream = stream
         #: Shard-scan implementation (see :mod:`repro.scanners.columnar`).
@@ -196,6 +197,11 @@ class MeasurementCampaign:
                 # Derive (or re-derive) the config under the scenario; any
                 # caller-supplied fractions and size/seed are kept as the base.
                 population_config = scenario.population_config(base=population_config)
+        #: Persistent skeleton-shard cache directory (see
+        #: :mod:`repro.scanners.skeleton_store`).  Works on every path:
+        #: streamed workers read their ranges through the store, and eager
+        #: campaigns generate the population itself through it.
+        self.skeleton_cache_dir = skeleton_cache_dir
         if stream:
             if population is not None:
                 raise ValueError(
@@ -205,7 +211,16 @@ class MeasurementCampaign:
             self.population = None
             self.population_config = population_config or PopulationConfig()
         else:
-            self.population = population or generate_population(population_config)
+            if population is not None:
+                self.population = population
+            elif skeleton_cache_dir is not None:
+                from .skeleton_store import generate_population_cached, store_for
+
+                self.population = generate_population_cached(
+                    store_for(skeleton_cache_dir), population_config
+                )
+            else:
+                self.population = generate_population(population_config)
             self.population_config = self.population.config
         #: The campaign's scenario: explicit argument, or whatever the
         #: population config embeds (``None`` means plain baseline).
@@ -335,6 +350,7 @@ class MeasurementCampaign:
             run_sweep=self.run_sweep,
             sweep_sample_size=self.sweep_sample_size,
             retry_policy=self.retry_policy,
+            skeleton_cache_dir=self.skeleton_cache_dir,
         )
 
         # Stage 5 runs in the parent over the full fabric, exactly as serially
@@ -439,6 +455,7 @@ class MeasurementCampaign:
             retry_policy=self.retry_policy,
             fault_plan=self.fault_plan,
             scan_backend=self.scan_backend,
+            skeleton_cache_dir=self.skeleton_cache_dir,
         )
         return self.finalize_streaming(scan)
 
@@ -584,6 +601,7 @@ def run_grid_campaign(
     fault_plan=None,
     scan_backend: Optional[str] = None,
     progress=None,
+    skeleton_cache_dir: Optional[str] = None,
 ) -> Dict[str, ReducedCampaignResults]:
     """Run every scenario of a :class:`~repro.scenarios.grid.ScenarioGrid`
     over one shared generation pass and finalize each member.
@@ -616,6 +634,7 @@ def run_grid_campaign(
         fault_plan=fault_plan,
         scan_backend=scan_backend,
         progress=progress,
+        skeleton_cache_dir=skeleton_cache_dir,
     )
     results: Dict[str, ReducedCampaignResults] = {}
     for scenario in grid:

@@ -150,6 +150,12 @@ class ShardTask:
     #: its own via :meth:`for_scenario`.  Appended after ``scan_backend`` to
     #: keep pickled field order stable.
     grid_scenarios: Optional[Tuple[ScenarioSpec, ...]] = None
+    #: Directory of the persistent skeleton-shard store
+    #: (:mod:`repro.scanners.skeleton_store`).  When set, recipe-form
+    #: regeneration consults the store before generating and populates it
+    #: after, so a warm worker skips the generation phase entirely.  Appended
+    #: after ``grid_scenarios`` to keep pickled field order stable.
+    skeleton_cache_dir: Optional[str] = None
 
     def for_scenario(self, scenario: ScenarioSpec) -> "ShardTask":
         """Derive the single-scenario task one grid member scans under.
@@ -188,6 +194,18 @@ class ShardTask:
         if self.population_config is None:
             raise ValueError("shard task carries neither deployments nor a config")
         tranco = _cached_tranco(self.population_config.size, seed=self.population_config.seed)
+        if self.skeleton_cache_dir is not None:
+            from .skeleton_store import deployments_for_range as cached_range, store_for
+
+            return tuple(
+                cached_range(
+                    store_for(self.skeleton_cache_dir),
+                    self.population_config,
+                    self.start,
+                    self.stop,
+                    tranco=tranco,
+                )
+            )
         return tuple(
             deployments_for_range(self.population_config, self.start, self.stop, tranco=tranco)
         )
@@ -221,6 +239,18 @@ class ShardTask:
         if self.population_config is None:
             raise ValueError("shard task carries neither deployments nor a config")
         tranco = _cached_tranco(self.population_config.size, seed=self.population_config.seed)
+        if self.skeleton_cache_dir is not None:
+            from .skeleton_store import skeletons_for_range, store_for
+
+            return tuple(
+                skeletons_for_range(
+                    store_for(self.skeleton_cache_dir),
+                    self.population_config,
+                    self.start,
+                    self.stop,
+                    tranco=tranco,
+                )
+            )
         return tuple(
             deployments_for_range(
                 self.population_config, self.start, self.stop, tranco=tranco, skeleton=True
@@ -666,6 +696,7 @@ def build_shard_tasks(
     regenerate_config: Optional[PopulationConfig] = None,
     use_fork_shared: bool = False,
     scan_backend: str = "object",
+    skeleton_cache_dir: Optional[str] = None,
 ) -> List[ShardTask]:
     """Plan shards over rank-ordered ``deployments`` and package their tasks.
 
@@ -673,7 +704,9 @@ def build_shard_tasks(
     depends on the global QUIC-target count) and then routed to the shard that
     owns each sampled rank.  With ``use_fork_shared`` or ``regenerate_config``
     set, tasks carry only the index range instead of the deployments
-    themselves (see :class:`ShardTask`).
+    themselves (see :class:`ShardTask`).  ``skeleton_cache_dir`` points
+    range-carrying tasks at a persistent skeleton store so worker-side
+    regeneration reads cached shards instead of rolling the RNG.
     """
     specs = plan_shards(len(deployments), shard_size)
     sweep_by_shard: Dict[int, List[ScanTarget]] = {spec.index: [] for spec in specs}
@@ -697,6 +730,7 @@ def build_shard_tasks(
             sweep_targets=tuple(sweep_by_shard[spec.index]),
             sweep_initial_sizes=tuple(sweep_initial_sizes),
             scan_backend=scan_backend,
+            skeleton_cache_dir=skeleton_cache_dir,
         )
         for spec in specs
     ]
@@ -713,6 +747,7 @@ def run_sharded_scan(
     sweep_initial_sizes: Sequence[int] = SWEEP_INITIAL_SIZES,
     retry_policy: Optional[RetryPolicy] = None,
     scan_backend: Optional[str] = None,
+    skeleton_cache_dir: Optional[str] = None,
 ) -> MergedScanResults:
     """Run stages 1–4 over the population, sharded across ``workers`` processes.
 
@@ -763,6 +798,7 @@ def run_sharded_scan(
         sweep_initial_sizes=sweep_initial_sizes,
         regenerate_config=regenerate_config,
         use_fork_shared=fork_available,
+        skeleton_cache_dir=skeleton_cache_dir if regenerate_config is not None else None,
     )
     tasks_by_index = {task.index: task for task in tasks}
     partials_by_index: Dict[int, ShardScanResult] = {}

@@ -488,9 +488,24 @@ def _scan_and_summarize_grid(
         groups.setdefault(base_config, []).append(scenario)
     summaries: Dict[str, ShardSummary] = {}
     for base_config, members in groups.items():
-        skeletons = deployments_for_range(
-            base_config, task.start, task.stop, skeleton=True
-        )
+        if task.skeleton_cache_dir is not None:
+            # Warm path: the persistent store supplies the baseline skeletons
+            # and seeds the shared spec→chain cache from the issued-leaf
+            # annexes, so untouched specs materialise without issuance.
+            from .skeleton_store import skeletons_for_range as cached_skeletons
+            from .skeleton_store import store_for
+
+            skeletons = cached_skeletons(
+                store_for(task.skeleton_cache_dir),
+                base_config,
+                task.start,
+                task.stop,
+                chain_cache=chain_cache,
+            )
+        else:
+            skeletons = deployments_for_range(
+                base_config, task.start, task.stop, skeleton=True
+            )
         for scenario in members:
             member_task = member_tasks[scenario.name]
             deployments = tuple(
@@ -1071,6 +1086,7 @@ def run_streaming_scan(
     retry_policy: Optional[RetryPolicy] = None,
     fault_plan: Optional[FaultPlan] = None,
     scan_backend: Optional[str] = None,
+    skeleton_cache_dir: Optional[str] = None,
 ) -> ReducedScanResults:
     """Stream stages 1–4 over a generated population, reducing as shards finish.
 
@@ -1104,11 +1120,28 @@ def run_streaming_scan(
     ``REPRO_SCAN_BACKEND`` environment knob and defaults to ``"object"``.
     Both backends produce byte-identical summaries, so checkpoints written by
     one backend resume cleanly under the other.
+
+    ``skeleton_cache_dir`` points workers at a persistent
+    :class:`~repro.scanners.skeleton_store.SkeletonStore`: generation becomes
+    a verified read of cached baseline shards (warm) or a read-through that
+    populates the store (cold), byte-identical either way.  Composes freely
+    with checkpoints, resume, retries and both backends.
     """
     if workers <= 0:
         raise ValueError("workers must be positive")
     if resume and checkpoint_dir is None:
         raise CheckpointError("resume requires a checkpoint directory")
+    if skeleton_cache_dir is not None:
+        # Bind (or verify) the directory in the parent so a mismatched cache
+        # fails fast with one actionable error instead of once per worker.
+        from .skeleton_store import store_for
+
+        base = (
+            config
+            if config.scenario is None
+            else dataclasses.replace(config, scenario=None)
+        )
+        store_for(skeleton_cache_dir).bind(base)
     from .columnar import resolve_scan_backend  # lazy: columnar imports us
 
     scan_backend = resolve_scan_backend(scan_backend)
@@ -1134,6 +1167,7 @@ def run_streaming_scan(
                 population_config=config,
                 start=shard.start,
                 stop=shard.stop,
+                skeleton_cache_dir=skeleton_cache_dir,
             )
             for shard in shard_specs
         ]
@@ -1164,6 +1198,7 @@ def run_streaming_scan(
             sweep_local_selection=selections[shard.index],
             sweep_initial_sizes=tuple(sweep_initial_sizes),
             scan_backend=scan_backend,
+            skeleton_cache_dir=skeleton_cache_dir,
         )
         for shard in shard_specs
     ]
@@ -1232,6 +1267,7 @@ def run_streaming_grid_scan(
     fault_plan: Optional[FaultPlan] = None,
     scan_backend: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
+    skeleton_cache_dir: Optional[str] = None,
 ) -> Dict[str, ReducedScanResults]:
     """Stream an N-scenario grid over one population at one-generation cost.
 
@@ -1277,6 +1313,12 @@ def run_streaming_grid_scan(
     from .columnar import resolve_scan_backend  # lazy: columnar imports us
 
     scan_backend = resolve_scan_backend(scan_backend)
+    if skeleton_cache_dir is not None:
+        # Fail fast in the parent on a mismatched cache directory; the base
+        # config is already scenario-free here (checked above).
+        from .skeleton_store import store_for
+
+        store_for(skeleton_cache_dir).bind(config)
     spec = spec or ReductionSpec()
     scenarios = tuple(grid)
     member_configs = {
@@ -1326,6 +1368,7 @@ def run_streaming_grid_scan(
             stop=shard.stop,
             scan_backend=scan_backend,
             grid_scenarios=tuple(missing),
+            skeleton_cache_dir=skeleton_cache_dir,
         )
     to_run = sorted(tasks_by_index)
     total_pairs = sum(len(task.grid_scenarios) for task in tasks_by_index.values())

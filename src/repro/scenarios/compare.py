@@ -237,6 +237,7 @@ def _grid_outcomes(
     resume: bool = False,
     scan_backend: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
+    skeleton_cache_dir: Optional[str] = None,
 ) -> Tuple[ScenarioOutcome, ...]:
     """One shared-generation sweep over ``grid``, reduced to outcomes."""
     from ..scanners.orchestrator import run_grid_campaign
@@ -252,6 +253,7 @@ def _grid_outcomes(
         resume=resume,
         scan_backend=scan_backend,
         progress=progress,
+        skeleton_cache_dir=skeleton_cache_dir,
     )
     return tuple(
         outcome_from_results(scenario, results[scenario.name]) for scenario in grid
@@ -266,6 +268,7 @@ def compare_scenarios(
     shard_size: Optional[int] = None,
     spoofed_targets_per_provider: int = 25,
     progress: Optional[Callable[[str], None]] = None,
+    skeleton_cache_dir: Optional[str] = None,
 ) -> ScenarioComparison:
     """Run the scenarios as one shared-generation sweep and tabulate deltas.
 
@@ -294,7 +297,7 @@ def compare_scenarios(
     )
     outcomes = _grid_outcomes(
         grid, size, seed, workers, shard_size, spoofed_targets_per_provider,
-        progress=progress,
+        progress=progress, skeleton_cache_dir=skeleton_cache_dir,
     )
     return ScenarioComparison(outcomes=outcomes, population_size=size, seed=seed)
 
@@ -381,6 +384,7 @@ def compare_grid(
     resume: bool = False,
     scan_backend: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
+    skeleton_cache_dir: Optional[str] = None,
 ) -> AdoptionCurve:
     """Sweep a scenario grid in one shared-generation campaign.
 
@@ -398,7 +402,7 @@ def compare_grid(
     outcomes = _grid_outcomes(
         grid, size, seed, workers, shard_size, spoofed_targets_per_provider,
         checkpoint_dir=checkpoint_dir, resume=resume, scan_backend=scan_backend,
-        progress=progress,
+        progress=progress, skeleton_cache_dir=skeleton_cache_dir,
     )
     return AdoptionCurve(
         grid_name=grid.name,

@@ -20,15 +20,17 @@ which is ~20× cheaper than full generation.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+import struct
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from ..netsim.address import IPv4Address
 from ..netsim.dns import DnsRcode
-from ..quic.profiles import ServerBehaviorProfile
+from ..quic.profiles import BUILTIN_PROFILES, ServerBehaviorProfile
 from ..x509.ca import WebPkiHierarchy, default_hierarchy
 from ..x509.certificate import Certificate
 from ..x509.chain import CertificateChain
+from ..x509.issuance import issue_leaf_fast, leaf_template
 from ..x509.keys import KeyAlgorithm
 from .deployment import DomainDeployment, ServiceCategory
 
@@ -95,7 +97,7 @@ def san_names_for(stem: str, count: int) -> List[str]:
     return names[:max(count, 1)]
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True)
 class ChainSpec:
     """Everything needed to issue one delivered chain, recorded not acted on.
 
@@ -121,6 +123,33 @@ class ChainSpec:
     #: issued.  Applied after ``bloat_extras``, so it also caps bloat.
     trim_to: Optional[int] = None
 
+    def __hash__(self) -> int:
+        # Specs key every chain cache, so each one is hashed many times per
+        # campaign (cache fill, cache lookup, annex encode/decode); memoise
+        # the field-tuple hash the frozen dataclass would otherwise recompute.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash(
+                (
+                    self.domain,
+                    self.ca_profile,
+                    self.key_algorithm,
+                    self.san_count,
+                    self.name_stem,
+                    self.validity_days,
+                    self.bloat_extras,
+                    self.trim_to,
+                )
+            )
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __getstate__(self) -> dict:
+        # String hashes are salted per process; never ship the memo.
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
     def san_names(self) -> List[str]:
         """The expanded SAN-name list (first name is always the domain)."""
         names = san_names_for(self.name_stem, self.san_count)
@@ -131,12 +160,29 @@ class ChainSpec:
         """Issue the recorded chain (via the per-profile issuance fast path)."""
         hierarchy = hierarchy or default_hierarchy()
         profile = hierarchy.profiles[self.ca_profile]
-        chain = profile.issue(
+        leaf = issue_leaf_fast(
+            leaf_template(profile.issuer, self.key_algorithm or profile.leaf_key_algorithm),
             self.domain,
-            san_names=self.san_names(),
-            validity_days=self.validity_days,
-            key_algorithm=self.key_algorithm,
+            self.san_names(),
+            self.validity_days,
         )
+        return self.assemble(leaf, hierarchy)
+
+    def assemble(
+        self, leaf: Certificate, hierarchy: Optional[WebPkiHierarchy] = None
+    ) -> CertificateChain:
+        """Wrap an already-issued ``leaf`` in this spec's delivered chain.
+
+        The non-leaf tail of :meth:`materialize` — delivered parent chain,
+        bloat-pool appends, trim — factored out so a caller holding a
+        reconstituted leaf (the skeleton store's issued-leaf annex) rebuilds
+        the exact chain without re-running issuance.  Every non-leaf
+        certificate is a hierarchy or bloat-pool singleton, so the chain is
+        fully determined by the spec plus the leaf.
+        """
+        hierarchy = hierarchy or default_hierarchy()
+        profile = hierarchy.profiles[self.ca_profile]
+        chain = CertificateChain((leaf,) + profile.delivered_chain)
         if self.bloat_extras:
             pool = bloat_pool()
             chain = CertificateChain(
@@ -151,7 +197,7 @@ class ChainSpec:
 # Deployment skeletons
 # ---------------------------------------------------------------------------
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True)
 class DeploymentSkeleton:
     """A :class:`DomainDeployment` minus the materialised certificate chains.
 
@@ -212,6 +258,17 @@ class DeploymentSkeleton:
             if chain_cache is None:
                 return spec.materialize(hierarchy)
             chain = chain_cache.get(spec)
+            if chain is None and spec.trim_to is not None:
+                # A trimmed spec differs from its untrimmed base only in the
+                # final slice, so a cached base chain (the common case when a
+                # trim scenario rides a warmed cache or a multi-scenario
+                # visit) is sliced instead of re-issued — byte-identical
+                # because trimming reuses the same certificate objects.
+                full = chain_cache.get(replace(spec, trim_to=None))
+                if full is not None:
+                    if len(full.certificates) > spec.trim_to:
+                        full = CertificateChain(full.certificates[: spec.trim_to])
+                    chain = chain_cache[spec] = full
             if chain is None:
                 chain = chain_cache[spec] = spec.materialize(hierarchy)
             return chain
@@ -244,3 +301,361 @@ def category_counts(skeletons) -> Dict[ServiceCategory, int]:
     for skeleton in skeletons:
         counts[skeleton.category] += 1
     return counts
+
+
+# ---------------------------------------------------------------------------
+# Deterministic shard codec (the skeleton-store wire format)
+# ---------------------------------------------------------------------------
+#
+# The persistent skeleton store (repro.scanners.skeleton_store) needs a
+# serialization that is (a) deterministic — equal shards encode byte-identical,
+# so content-addressed files are reproducible across hosts and Python builds,
+# unlike pickle — and (b) fast to decode, because decode time is the warm
+# path's generation phase.  The layout is columnar, mirroring the columnar
+# scan core: one struct-packed array per field, decoded with a handful of
+# C-level ``struct.unpack_from`` calls and a single constructor loop, plus a
+# per-shard string table so each domain/provider/profile label is stored once.
+#
+# Enum and builtin-profile columns store indices into the fixed orderings
+# below.  Any change to those orderings, the field set, or the column layout
+# is an incompatible format change: bump the store's format tag
+# (``repro-skel/1``) so stale files quarantine instead of misparse.
+
+class SkeletonCodecError(ValueError):
+    """Shard bytes failed deterministic decoding (foreign or malformed payload)."""
+
+
+_CATEGORIES = tuple(ServiceCategory)
+_RCODES = tuple(DnsRcode)
+_KEY_ALGORITHMS = tuple(KeyAlgorithm)
+_CATEGORY_INDEX = {category: i for i, category in enumerate(_CATEGORIES)}
+_RCODE_INDEX = {rcode: i for i, rcode in enumerate(_RCODES)}
+_KEY_INDEX = {algorithm: i for i, algorithm in enumerate(_KEY_ALGORITHMS)}
+
+#: Builtin server-behavior profiles in name order — the only behaviors a
+#: *baseline* skeleton can carry (scenario transforms run after decode).
+_BEHAVIORS = tuple(BUILTIN_PROFILES[name] for name in sorted(BUILTIN_PROFILES))
+_BEHAVIOR_INDEX = {profile: i for i, profile in enumerate(_BEHAVIORS)}
+
+#: u16 string-table sentinel for "no string" (optional fields).
+_NO_REF = 0xFFFF
+
+
+def _u8(value: int, what: str) -> int:
+    if not 0 <= value <= 0xFF:
+        raise SkeletonCodecError(f"{what} {value} does not fit the u8 column")
+    return value
+
+
+def _u16(value: int, what: str) -> int:
+    if not 0 <= value <= 0xFFFF:
+        raise SkeletonCodecError(f"{what} {value} does not fit the u16 column")
+    return value
+
+
+def encode_skeleton_shard(shard) -> bytes:
+    """Encode a :class:`~repro.webpki.population.SkeletonShard` deterministically."""
+    skeletons = shard.skeletons
+    n = len(skeletons)
+    strings: Dict[str, int] = {}
+
+    def ref(text: Optional[str]) -> int:
+        if text is None:
+            return _NO_REF
+        index = strings.get(text)
+        if index is None:
+            index = len(strings)
+            if index >= _NO_REF:
+                raise SkeletonCodecError("shard string table overflows u16 refs")
+            strings[text] = index
+        return index
+
+    flags = bytearray(n)
+    categories = bytearray(n)
+    rcodes = bytearray(n)
+    behaviors = bytearray(n)
+    encapsulations = bytearray(n)
+    ranks: List[int] = []
+    addresses: List[int] = []
+    domains: List[int] = []
+    providers: List[int] = []
+    archetypes: List[int] = []
+    ca_profiles: List[int] = []
+    redirects: List[int] = []
+    spec_domains: List[int] = []
+    spec_cas: List[int] = []
+    spec_keys = bytearray()
+    spec_sans: List[int] = []
+    spec_stems: List[int] = []
+    spec_validities: List[int] = []
+    spec_trims = bytearray()
+    spec_bloats = bytearray()
+    bloat_blob = bytearray()
+
+    def push_spec(spec: ChainSpec) -> None:
+        spec_domains.append(ref(spec.domain))
+        spec_cas.append(ref(spec.ca_profile))
+        spec_keys.append(
+            0 if spec.key_algorithm is None else _KEY_INDEX[spec.key_algorithm] + 1
+        )
+        spec_sans.append(_u16(spec.san_count, "san_count"))
+        spec_stems.append(ref(spec.name_stem))
+        spec_validities.append(_u16(spec.validity_days, "validity_days"))
+        if spec.trim_to is None:
+            spec_trims.append(0)
+        elif spec.trim_to <= 0:
+            raise SkeletonCodecError(f"trim_to {spec.trim_to} is not encodable")
+        else:
+            spec_trims.append(_u8(spec.trim_to, "trim_to"))
+        spec_bloats.append(_u8(len(spec.bloat_extras), "bloat extras count"))
+        for index in spec.bloat_extras:
+            bloat_blob.append(_u8(index, "bloat pool index"))
+
+    for i, skeleton in enumerate(skeletons):
+        flag = 0
+        if skeleton.address is not None:
+            flag |= 1
+        if skeleton.https_spec is not None:
+            flag |= 2
+        if skeleton.quic_spec is not None:
+            flag |= 4
+        if skeleton.quic_shares_https:
+            flag |= 8
+        flags[i] = flag
+        categories[i] = _CATEGORY_INDEX[skeleton.category]
+        rcodes[i] = _RCODE_INDEX[skeleton.dns_rcode]
+        if skeleton.server_behavior is None:
+            behaviors[i] = 0
+        else:
+            behavior = _BEHAVIOR_INDEX.get(skeleton.server_behavior)
+            if behavior is None:
+                raise SkeletonCodecError(
+                    f"server behavior {skeleton.server_behavior.name!r} is not a "
+                    "builtin profile; only baseline shards are encodable"
+                )
+            behaviors[i] = behavior + 1
+        encapsulations[i] = _u8(
+            skeleton.encapsulation_overhead, "encapsulation_overhead"
+        )
+        if not 0 <= skeleton.rank <= 0xFFFFFFFF:
+            raise SkeletonCodecError(f"rank {skeleton.rank} does not fit u32")
+        ranks.append(skeleton.rank)
+        addresses.append(0 if skeleton.address is None else skeleton.address.value)
+        domains.append(ref(skeleton.domain))
+        providers.append(ref(skeleton.provider))
+        archetypes.append(ref(skeleton.archetype))
+        ca_profiles.append(ref(skeleton.ca_profile))
+        redirects.append(ref(skeleton.redirect_to))
+        if skeleton.https_spec is not None:
+            push_spec(skeleton.https_spec)
+        if skeleton.quic_spec is not None:
+            push_spec(skeleton.quic_spec)
+
+    m = len(spec_domains)
+    out = bytearray()
+    out += struct.pack("<QQII", shard.index, shard.start_rank, n, m)
+    out += struct.pack("<I", len(strings))
+    for text in strings:  # insertion order == ref order
+        raw = text.encode("utf-8")
+        out += struct.pack("<H", _u16(len(raw), "string length"))
+        out += raw
+    out += struct.pack(f"<{n}I", *ranks)
+    out += flags + categories + rcodes + behaviors + encapsulations
+    out += struct.pack(f"<{n}I", *addresses)
+    for column in (domains, providers, archetypes, ca_profiles, redirects):
+        out += struct.pack(f"<{n}H", *column)
+    out += struct.pack(f"<{m}H", *spec_domains)
+    out += struct.pack(f"<{m}H", *spec_cas)
+    out += spec_keys
+    out += struct.pack(f"<{m}H", *spec_sans)
+    out += struct.pack(f"<{m}H", *spec_stems)
+    out += struct.pack(f"<{m}H", *spec_validities)
+    out += spec_trims + spec_bloats + bloat_blob
+    return bytes(out)
+
+
+def decode_skeleton_shard(data: bytes):
+    """Decode :func:`encode_skeleton_shard` bytes back into a ``SkeletonShard``.
+
+    Raises :class:`SkeletonCodecError` on any structural defect.  Bit-level
+    corruption is already excluded by the store's self-verifying header; this
+    guards against foreign or stale-layout payloads.
+    """
+    try:
+        return _decode_skeleton_shard(data)
+    except SkeletonCodecError:
+        raise
+    except (struct.error, IndexError, UnicodeDecodeError, ValueError) as error:
+        raise SkeletonCodecError(f"skeleton shard payload is malformed: {error}") from error
+
+
+def _decode_skeleton_shard(data: bytes):
+    from .population import SkeletonShard
+
+    index, start_rank, n, m = struct.unpack_from("<QQII", data, 0)
+    pos = 24
+    (n_strings,) = struct.unpack_from("<I", data, pos)
+    pos += 4
+    if n_strings >= _NO_REF:
+        raise SkeletonCodecError("shard string table overflows u16 refs")
+    table: List[str] = []
+    for _ in range(n_strings):
+        (length,) = struct.unpack_from("<H", data, pos)
+        pos += 2
+        end = pos + length
+        if end > len(data):
+            raise SkeletonCodecError("shard string table is truncated")
+        table.append(data[pos:end].decode("utf-8"))
+        pos = end
+
+    ranks = struct.unpack_from(f"<{n}I", data, pos)
+    pos += 4 * n
+    flags = data[pos : pos + n]
+    pos += n
+    categories = data[pos : pos + n]
+    pos += n
+    rcodes = data[pos : pos + n]
+    pos += n
+    behaviors = data[pos : pos + n]
+    pos += n
+    encapsulations = data[pos : pos + n]
+    pos += n
+    if len(encapsulations) != n:
+        raise SkeletonCodecError("shard byte columns are truncated")
+    addresses = struct.unpack_from(f"<{n}I", data, pos)
+    pos += 4 * n
+    string_columns = []
+    for _ in range(5):
+        string_columns.append(struct.unpack_from(f"<{n}H", data, pos))
+        pos += 2 * n
+    domains, providers, archetypes, ca_profiles, redirects = string_columns
+    spec_domains = struct.unpack_from(f"<{m}H", data, pos)
+    pos += 2 * m
+    spec_cas = struct.unpack_from(f"<{m}H", data, pos)
+    pos += 2 * m
+    spec_keys = data[pos : pos + m]
+    pos += m
+    spec_sans = struct.unpack_from(f"<{m}H", data, pos)
+    pos += 2 * m
+    spec_stems = struct.unpack_from(f"<{m}H", data, pos)
+    pos += 2 * m
+    spec_validities = struct.unpack_from(f"<{m}H", data, pos)
+    pos += 2 * m
+    spec_trims = data[pos : pos + m]
+    pos += m
+    spec_bloats = data[pos : pos + m]
+    pos += m
+    if len(spec_bloats) != m:
+        raise SkeletonCodecError("shard spec columns are truncated")
+    bloat_total = sum(spec_bloats)
+    bloat_blob = data[pos : pos + bloat_total]
+    pos += bloat_total
+    if pos != len(data):
+        raise SkeletonCodecError(
+            f"shard payload has {len(data) - pos} unexpected trailing bytes"
+        )
+
+    sp = 0  # spec cursor
+    bp = 0  # bloat-blob cursor
+    # Construction bypasses the frozen-dataclass __init__ (decode is the warm
+    # path's generation phase; ~1.8k objects per shard) — field sets below
+    # must stay in lockstep with the ChainSpec / DeploymentSkeleton fields.
+    # The two spec blocks are deliberately inlined copies of each other: this
+    # loop is hot enough that a per-spec closure call shows up.
+    spec_new = ChainSpec.__new__
+    skeleton_new = DeploymentSkeleton.__new__
+    address_new = IPv4Address.__new__
+    no_ref = _NO_REF
+
+    skeletons: List[DeploymentSkeleton] = []
+    append = skeletons.append
+    for rank, flag, category, rcode, behavior, encapsulation, address_value, d_ref, p_ref, a_ref, c_ref, r_ref in zip(
+        ranks,
+        flags,
+        categories,
+        rcodes,
+        behaviors,
+        encapsulations,
+        addresses,
+        domains,
+        providers,
+        archetypes,
+        ca_profiles,
+        redirects,
+    ):
+        if flag & 1:
+            address = address_new(IPv4Address)
+            address.__dict__.update({"value": address_value})
+        else:
+            address = None
+        if flag & 2:
+            count = spec_bloats[sp]
+            if count:
+                extras = tuple(bloat_blob[bp : bp + count])
+                bp += count
+            else:
+                extras = ()
+            key = spec_keys[sp]
+            https_spec = spec_new(ChainSpec)
+            https_spec.__dict__.update(
+                {
+                    "domain": table[spec_domains[sp]],
+                    "ca_profile": table[spec_cas[sp]],
+                    "key_algorithm": None if key == 0 else _KEY_ALGORITHMS[key - 1],
+                    "san_count": spec_sans[sp],
+                    "name_stem": table[spec_stems[sp]],
+                    "validity_days": spec_validities[sp],
+                    "bloat_extras": extras,
+                    "trim_to": spec_trims[sp] or None,
+                }
+            )
+            sp += 1
+        else:
+            https_spec = None
+        if flag & 4:
+            count = spec_bloats[sp]
+            if count:
+                extras = tuple(bloat_blob[bp : bp + count])
+                bp += count
+            else:
+                extras = ()
+            key = spec_keys[sp]
+            quic_spec = spec_new(ChainSpec)
+            quic_spec.__dict__.update(
+                {
+                    "domain": table[spec_domains[sp]],
+                    "ca_profile": table[spec_cas[sp]],
+                    "key_algorithm": None if key == 0 else _KEY_ALGORITHMS[key - 1],
+                    "san_count": spec_sans[sp],
+                    "name_stem": table[spec_stems[sp]],
+                    "validity_days": spec_validities[sp],
+                    "bloat_extras": extras,
+                    "trim_to": spec_trims[sp] or None,
+                }
+            )
+            sp += 1
+        else:
+            quic_spec = None
+        skeleton = skeleton_new(DeploymentSkeleton)
+        skeleton.__dict__.update(
+            {
+                "domain": table[d_ref],
+                "rank": rank,
+                "category": _CATEGORIES[category],
+                "dns_rcode": _RCODES[rcode],
+                "address": address,
+                "server_behavior": None if behavior == 0 else _BEHAVIORS[behavior - 1],
+                "provider": None if p_ref == no_ref else table[p_ref],
+                "archetype": None if a_ref == no_ref else table[a_ref],
+                "ca_profile": None if c_ref == no_ref else table[c_ref],
+                "encapsulation_overhead": encapsulation,
+                "redirect_to": None if r_ref == no_ref else table[r_ref],
+                "https_spec": https_spec,
+                "quic_spec": quic_spec,
+                "quic_shares_https": bool(flag & 8),
+            }
+        )
+        append(skeleton)
+    if sp != m:
+        raise SkeletonCodecError(f"shard names {m} chain specs but uses {sp}")
+    return SkeletonShard(index=index, start_rank=start_rank, skeletons=tuple(skeletons))

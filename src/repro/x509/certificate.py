@@ -94,7 +94,39 @@ class Certificate:
 
     @property
     def san_names(self) -> Tuple[str, ...]:
-        return getattr(self, "_san_names", ())
+        names = getattr(self, "_san_names", ())
+        if callable(names):
+            # Issuance memoizes the names eagerly; certificates rebuilt from
+            # a skeleton-store leaf record memoize a thunk instead (the names
+            # are derivable from the chain spec) and expand it on first read.
+            names = tuple(names())
+            object.__setattr__(self, "_san_names", names)
+        return names
+
+    def __getattr__(self, name: str):
+        # Certificates rebuilt from a skeleton-store leaf record carry a
+        # ``_deferred`` record tuple instead of the fields the scan layer
+        # never reads (subject DN, public key, validity, extension tuple,
+        # TBS and signature slices); the first access to any of them expands
+        # the record into ``__dict__`` and the instance behaves like a fresh
+        # one.  The import is deferred to break the issuance→certificate
+        # cycle; expansion is rare, so its cost is irrelevant.
+        record = self.__dict__.get("_deferred")
+        if record is None:
+            raise AttributeError(name)
+        from .issuance import expand_deferred_leaf_fields
+
+        del self.__dict__["_deferred"]
+        self.__dict__.update(expand_deferred_leaf_fields(self.__dict__["der"], record))
+        try:
+            return self.__dict__[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __getstate__(self):
+        if "_deferred" in self.__dict__:
+            self.validity  # deferred thunks don't pickle; expand first
+        return dict(self.__dict__)
 
 
 @dataclass

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, Sequence, Tuple
+from typing import Callable, Dict, Sequence, Tuple
 
 from ..asn1 import (
     OID,
@@ -42,7 +42,7 @@ from .extensions import (
     SubjectKeyIdentifier,
 )
 from .keys import KeyAlgorithm, PublicKey, SignatureAlgorithm
-from .name import DistinguishedName
+from .name import DistinguishedName, RelativeName
 
 #: The constant ``[0] EXPLICIT INTEGER 2`` (version v3) block of every TBS.
 _VERSION_DER = encode_explicit(0, encode_integer(2))
@@ -231,3 +231,158 @@ def issue_leaf_fast(
         ),
     )
     return certificate
+
+
+# ---------------------------------------------------------------------------
+# Leaf records: re-hydrating issued leaves without re-running issuance
+# ---------------------------------------------------------------------------
+#
+# The persistent skeleton store (repro.scanners.skeleton_store) caches the
+# generation phase's *output*, and most of that output's cost is leaf
+# issuance: DER assembly, SPKI/key-identifier/SCT hashing, signing.  A leaf
+# record captures exactly the per-leaf artifacts of issue_leaf_fast — the
+# finished DER, the TBS/signature slice lengths, the serial, the three
+# per-leaf extension values and the field-size memo — so a warm start
+# reassembles a byte-identical Certificate from template-shared parts plus
+# stored bytes, with zero hashing and zero DER encoding.
+
+#: Extension tuple positions of the per-leaf extensions in issue_leaf_fast's
+#: nine-extension layout (SKI, SAN, SCT); every other position is shared with
+#: the template or a module constant.
+_SKI_POSITION, _SAN_POSITION, _SCT_POSITION = 3, 6, 8
+
+_COMMON_NAME_OID = OID.COMMON_NAME
+_SKI_OID = OID.SUBJECT_KEY_IDENTIFIER
+_SAN_OID = OID.SUBJECT_ALT_NAME
+_SCT_OID = OID.SCT_LIST
+
+
+def leaf_record(
+    certificate: Certificate,
+) -> Tuple[bytes, int, int, int, bytes, bytes, bytes, Tuple[int, ...]]:
+    """The serializable per-leaf remainder of an ``issue_leaf_fast`` output.
+
+    Everything *not* in the record is a function of the leaf's template and
+    its :class:`~repro.webpki.skeleton.ChainSpec` (subject DN, public key,
+    validity, shared extensions), so ``leaf_from_record`` rebuilds the exact
+    certificate from ``(template, domain, san_names, validity_days, record)``.
+    """
+    row = getattr(certificate, "_field_size_row", None)
+    if row is None:
+        raise ValueError(
+            "certificate was not issued by issue_leaf_fast; cannot build a leaf record"
+        )
+    extensions = certificate.extensions
+    return (
+        certificate.der,
+        len(certificate.tbs_der),
+        len(certificate.signature_value),
+        certificate.serial_number,
+        extensions[_SKI_POSITION].value,
+        extensions[_SAN_POSITION].value,
+        extensions[_SCT_POSITION].value,
+        row,
+    )
+
+
+def leaf_from_record(
+    template: LeafTemplate,
+    domain: str,
+    san_names: "Sequence[str] | Callable[[], Sequence[str]]",
+    validity_days: int,
+    der: bytes,
+    tbs_length: int,
+    signature_length: int,
+    serial_number: int,
+    ski_value: bytes,
+    san_value: bytes,
+    sct_value: bytes,
+    field_size_row: Tuple[int, ...],
+) -> Certificate:
+    """Rebuild an ``issue_leaf_fast`` output from its :func:`leaf_record`.
+
+    The TBS and signature are slices of the stored DER (``der`` is
+    ``SEQUENCE(tbs, algorithm, BIT STRING(signature))``, so the TBS starts
+    right after the outer header and the signature is the DER's tail).  This
+    is the warm path's hot loop — ~3k certificates per 5k-domain campaign —
+    so only the fields the scan layer reads are populated eagerly; subject
+    DN, public key, validity, the extension tuple and the TBS/signature
+    slices live behind a ``_deferred`` thunk that
+    :meth:`Certificate.__getattr__` expands on first access, and
+    ``san_names`` may likewise be a thunk.
+    """
+    certificate = Certificate.__new__(Certificate)
+    certificate.__dict__.update(
+        {
+            "issuer": template.issuer_subject,
+            "signature_algorithm": template.signature_algorithm,
+            "serial_number": serial_number,
+            "is_ca": False,
+            "der": der,
+            "_san_names": san_names if callable(san_names) else tuple(san_names),
+            "_field_size_row": field_size_row,
+            "_deferred": (
+                template,
+                domain,
+                validity_days,
+                ski_value,
+                san_value,
+                sct_value,
+                tbs_length,
+                signature_length,
+            ),
+        }
+    )
+    return certificate
+
+
+def expand_deferred_leaf_fields(der: bytes, record: tuple) -> dict:
+    """Build the fields a ``_deferred`` leaf record postponed.
+
+    Called (once per certificate, at most) by ``Certificate.__getattr__``
+    when something reads a field the skeleton-store warm path left deferred.
+    """
+    (
+        template,
+        domain,
+        validity_days,
+        ski_value,
+        san_value,
+        sct_value,
+        tbs_length,
+        signature_length,
+    ) = record
+    subject = DistinguishedName.__new__(DistinguishedName)
+    relative = RelativeName.__new__(RelativeName)
+    relative.__dict__.update({"attribute": _COMMON_NAME_OID, "value": domain})
+    subject.__dict__.update({"rdns": (relative,)})
+    key = PublicKey.__new__(PublicKey)
+    key.__dict__.update(
+        {"algorithm": template.key_algorithm, "owner": f"leaf:{domain}"}
+    )
+    ski = Extension.__new__(Extension)
+    ski.__dict__.update({"oid": _SKI_OID, "critical": False, "value": ski_value})
+    san = Extension.__new__(Extension)
+    san.__dict__.update({"oid": _SAN_OID, "critical": False, "value": san_value})
+    sct = Extension.__new__(Extension)
+    sct.__dict__.update({"oid": _SCT_OID, "critical": False, "value": sct_value})
+    validity, _ = _validity_for_days(validity_days)
+    header = 2 + ((der[1] & 0x7F) if der[1] & 0x80 else 0)
+    return {
+        "subject": subject,
+        "public_key": key,
+        "validity": validity,
+        "extensions": (
+            template.key_usage,
+            _EKU,
+            _BASIC_CONSTRAINTS,
+            ski,
+            template.authority_key_identifier,
+            template.authority_info_access,
+            san,
+            _POLICIES,
+            sct,
+        ),
+        "tbs_der": der[header : header + tbs_length],
+        "signature_value": der[len(der) - signature_length :],
+    }

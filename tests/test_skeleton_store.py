@@ -1,0 +1,547 @@
+"""Skeleton-store warm starts: byte-identical, self-verifying, scenario-shared.
+
+The store is an optimisation, never a source of truth: a warm campaign must
+produce the same bytes as a cache-free one on every dispatch path (streamed,
+eager, grid, any backend/worker/shard-size combination), one directory must
+serve every scenario over its population, and any defective file — torn,
+corrupt, stale-format, foreign — must be quarantined and its shard silently
+regenerated to the same bytes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import shutil
+import tempfile
+
+import pytest
+
+from repro.analysis.export import export_evaluation
+from repro.analysis.report import build_report
+from repro.scanners import MeasurementCampaign, run_grid_campaign
+from repro.scanners.faults import corrupt_file, truncate_file
+from repro.scanners.skeleton_store import (
+    GENERATION_SHARD_SIZE,
+    SKELETON_FORMAT,
+    SkeletonKey,
+    SkeletonStore,
+    SkeletonStoreError,
+    cache_counters,
+    decode_skeleton_file,
+    deployments_for_range,
+    encode_skeleton_file,
+    generate_population_cached,
+    population_fingerprint,
+    reset_cache_counters,
+    reset_stores,
+    shard_count,
+    skeletons_for_range,
+    store_for,
+    warm,
+)
+from repro.scenarios import load_scenario
+from repro.scenarios.grid import load_grid
+from repro.webpki import population as population_module
+from repro.webpki.population import PopulationConfig, generate_population
+
+POPULATION_SIZE = 360  # < GENERATION_SHARD_SIZE: exactly one generation shard
+SHARD_SIZE = 120
+SPOOFED = 12
+CAMPAIGN_KWARGS = dict(stream=True, shard_size=SHARD_SIZE, spoofed_targets_per_provider=SPOOFED)
+
+GRID_MEMBERS = ("baseline-2022", "trimmed-chains", "universal-compression")
+
+
+@pytest.fixture(autouse=True)
+def _isolate_process_state():
+    reset_stores()
+    reset_cache_counters()
+    yield
+    reset_stores()
+    reset_cache_counters()
+
+
+@pytest.fixture(scope="module")
+def config():
+    return PopulationConfig(size=POPULATION_SIZE, seed=2022)
+
+
+@pytest.fixture(scope="module")
+def warmed_dir(config, tmp_path_factory) -> str:
+    """One fully warmed cache directory for ``config`` (treated read-only)."""
+    directory = str(tmp_path_factory.mktemp("skel-warm"))
+    hits, misses = warm(directory, config)
+    assert (hits, misses) == (0, shard_count(POPULATION_SIZE))
+    return directory
+
+
+@pytest.fixture(scope="module")
+def references(config):
+    """Cache-free streamed report texts: the bytes every warm run must hit."""
+    texts = {
+        "plain": build_report(
+            MeasurementCampaign(population_config=config, **CAMPAIGN_KWARGS).run()
+        ).text
+    }
+    for name in GRID_MEMBERS:
+        member = load_scenario(name).population_config(base=config)
+        texts[name] = build_report(
+            MeasurementCampaign(population_config=member, **CAMPAIGN_KWARGS).run()
+        ).text
+    return texts
+
+
+@pytest.fixture(scope="module")
+def shard_and_cache(config, warmed_dir):
+    store = SkeletonStore(warmed_dir)
+    shard, cache = store.load_or_generate(config, 0)
+    return shard, cache
+
+
+class TestWireFormat:
+    def test_round_trip(self, config, shard_and_cache):
+        shard, cache = shard_and_cache
+        key = SkeletonKey.for_config(config, 0)
+        decoded, decoded_cache = decode_skeleton_file(
+            encode_skeleton_file(shard, dict(cache), key=key), key=key
+        )
+        assert decoded.index == shard.index
+        assert decoded.start_rank == shard.start_rank
+        assert decoded.skeletons == shard.skeletons
+        assert set(decoded_cache) == set(cache)
+        for spec, chain in cache.items():
+            assert decoded_cache[spec].leaf.der == chain.leaf.der
+
+    def test_encoding_is_deterministic(self, config, shard_and_cache):
+        shard, cache = shard_and_cache
+        key = SkeletonKey.for_config(config, 0)
+        assert encode_skeleton_file(shard, dict(cache), key=key) == encode_skeleton_file(
+            shard, dict(cache), key=key
+        )
+
+    def test_header_carries_version_and_digest(self, shard_and_cache):
+        shard, cache = shard_and_cache
+        header = encode_skeleton_file(shard, dict(cache)).split(b"\n", 1)[0].split(b" ")
+        assert header[0] == SKELETON_FORMAT
+        assert len(header) == 3 and len(header[2]) == 64
+
+    @pytest.mark.parametrize(
+        "mangle",
+        [
+            lambda data: data[: len(data) // 2],            # truncated
+            lambda data: data.replace(b"/1", b"/0", 1),     # stale version
+            lambda data: b"",                               # empty file
+            lambda data: b"not a skeleton shard",           # garbage
+        ],
+    )
+    def test_defective_bytes_raise(self, shard_and_cache, mangle):
+        shard, cache = shard_and_cache
+        data = encode_skeleton_file(shard, dict(cache))
+        with pytest.raises(SkeletonStoreError):
+            decode_skeleton_file(mangle(data))
+
+    def test_flipped_payload_byte_raises(self, shard_and_cache):
+        shard, cache = shard_and_cache
+        data = bytearray(encode_skeleton_file(shard, dict(cache)))
+        data[-3] ^= 0xFF
+        with pytest.raises(SkeletonStoreError):
+            decode_skeleton_file(bytes(data))
+
+    def test_wrong_content_address_raises(self, config, shard_and_cache):
+        shard, cache = shard_and_cache
+        key = SkeletonKey.for_config(config, 0)
+        other = SkeletonKey.for_config(
+            dataclasses.replace(config, seed=7), 0
+        )
+        data = encode_skeleton_file(shard, dict(cache), key=other)
+        with pytest.raises(SkeletonStoreError, match="foreign or renamed"):
+            decode_skeleton_file(data, key=key)
+
+    def test_populate_false_skips_the_annex(self, config, shard_and_cache):
+        shard, cache = shard_and_cache
+        key = SkeletonKey.for_config(config, 0)
+        data = encode_skeleton_file(shard, dict(cache), key=key)
+        decoded, decoded_cache = decode_skeleton_file(data, populate=False, key=key)
+        assert decoded.skeletons == shard.skeletons
+        assert decoded_cache is None
+
+
+class TestContentAddressing:
+    def test_filename_embeds_index_and_digest(self, config):
+        key = SkeletonKey.for_config(config, 3)
+        assert key.filename().startswith("skel-000003-")
+        assert key.filename().endswith(".skel")
+
+    def test_distinct_populations_get_distinct_filenames(self, config):
+        names = {
+            SkeletonKey.for_config(config, 0).filename(),
+            SkeletonKey.for_config(dataclasses.replace(config, seed=7), 0).filename(),
+            SkeletonKey.for_config(dataclasses.replace(config, size=480), 0).filename(),
+            SkeletonKey.for_config(
+                dataclasses.replace(config, redirect_fraction=0.5), 0
+            ).filename(),
+            SkeletonKey.for_config(config, 1).filename(),
+        }
+        assert len(names) == 5
+
+    def test_scenarios_share_the_baseline_address(self, config):
+        """Scenarios are post-RNG transforms: they must not fragment the cache."""
+        base = SkeletonKey.for_config(config, 0)
+        for name in GRID_MEMBERS:
+            member = load_scenario(name).population_config(base=config)
+            assert population_fingerprint(member) == population_fingerprint(config)
+            assert SkeletonKey.for_config(member, 0).filename() == base.filename()
+
+    def test_shard_count_and_partial_last_shard(self):
+        assert shard_count(1) == 1
+        assert shard_count(GENERATION_SHARD_SIZE) == 1
+        assert shard_count(GENERATION_SHARD_SIZE + 76) == 2
+        key = SkeletonKey.for_config(
+            PopulationConfig(size=GENERATION_SHARD_SIZE + 76, seed=1), 1
+        )
+        assert key.expected_length() == 76
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize(
+        "workers,shard_size,backend",
+        [
+            (1, SHARD_SIZE, "object"),
+            (2, SHARD_SIZE, "columnar"),
+            (2, 90, "columnar"),  # scan shards that straddle nothing evenly
+        ],
+    )
+    def test_cold_then_warm_streamed_runs_match_cache_free(
+        self, config, references, tmp_path, workers, shard_size, backend
+    ):
+        directory = str(tmp_path / "skel")
+        kwargs = dict(
+            population_config=config,
+            stream=True,
+            workers=workers,
+            shard_size=shard_size,
+            spoofed_targets_per_provider=SPOOFED,
+            scan_backend=backend,
+            skeleton_cache_dir=directory,
+        )
+        cold = build_report(MeasurementCampaign(**kwargs).run()).text
+        entries = SkeletonStore(directory).entries()
+        assert len(entries) == shard_count(POPULATION_SIZE)  # cold run populated
+        stamps = {
+            name: os.stat(os.path.join(directory, name)).st_mtime_ns
+            for name in entries
+        }
+        reset_stores()
+        warm_text = build_report(MeasurementCampaign(**kwargs).run()).text
+        assert cold == references["plain"]
+        assert warm_text == references["plain"]
+        # The warm run replayed every shard: nothing was rewritten.  (Cache
+        # counters live per process, so with workers > 1 disk state is the
+        # only observable.)
+        for name, stamp in stamps.items():
+            assert os.stat(os.path.join(directory, name)).st_mtime_ns == stamp
+
+    def test_eager_campaign_through_the_store(self, config, warmed_dir):
+        plain = build_report(
+            MeasurementCampaign(
+                population_config=config, spoofed_targets_per_provider=SPOOFED
+            ).run()
+        ).text
+        cached = build_report(
+            MeasurementCampaign(
+                population_config=config,
+                spoofed_targets_per_provider=SPOOFED,
+                skeleton_cache_dir=warmed_dir,
+            ).run()
+        ).text
+        assert cached == plain
+        assert cache_counters()["misses"] == 0
+
+    def test_generate_population_cached_matches_eager(self, config, warmed_dir):
+        eager = generate_population(config)
+        cached = generate_population_cached(SkeletonStore(warmed_dir), config)
+        assert cache_counters()["misses"] == 0
+        assert cached._shard_regenerable is True
+        assert cached.config == eager.config
+        assert len(cached.deployments) == len(eager.deployments)
+        for ours, theirs in zip(cached.deployments, eager.deployments):
+            assert ours.domain == theirs.domain
+            for attribute in ("https_chain", "quic_chain"):
+                ours_chain = getattr(ours, attribute)
+                theirs_chain = getattr(theirs, attribute)
+                assert (ours_chain is None) == (theirs_chain is None)
+                if ours_chain is not None:
+                    assert ours_chain.leaf.der == theirs_chain.leaf.der
+                    assert len(ours_chain.certificates) == len(theirs_chain.certificates)
+
+    def test_one_store_serves_every_scenario(self, config, references, warmed_dir):
+        """Cross-scenario sharing: warm baseline shards, no new entries, no misses."""
+        entries_before = SkeletonStore(warmed_dir).entries()
+        for name in GRID_MEMBERS:
+            member = load_scenario(name).population_config(base=config)
+            reset_stores()
+            reset_cache_counters()
+            text = build_report(
+                MeasurementCampaign(
+                    population_config=member,
+                    skeleton_cache_dir=warmed_dir,
+                    **CAMPAIGN_KWARGS,
+                ).run()
+            ).text
+            assert text == references[name], f"warm {name} drifted from cache-free"
+            assert cache_counters()["misses"] == 0
+        assert SkeletonStore(warmed_dir).entries() == entries_before
+
+    def test_grid_campaign_through_the_store(self, config, references, warmed_dir):
+        results = run_grid_campaign(
+            load_grid(",".join(GRID_MEMBERS)),
+            config=config,
+            shard_size=SHARD_SIZE,
+            spoofed_targets_per_provider=SPOOFED,
+            scan_backend="columnar",
+            skeleton_cache_dir=warmed_dir,
+        )
+        assert cache_counters()["misses"] == 0
+        for name in GRID_MEMBERS:
+            assert build_report(results[name]).text == references[name]
+
+    def test_range_slicing_across_generation_shard_boundary(self, tmp_path):
+        size = GENERATION_SHARD_SIZE + 76
+        config = PopulationConfig(size=size, seed=5)
+        store = SkeletonStore(str(tmp_path / "skel"))
+        start, stop = GENERATION_SHARD_SIZE - 20, GENERATION_SHARD_SIZE + 60
+        cached = skeletons_for_range(store, config, start, stop)
+        eager = population_module.deployments_for_range(
+            config, start, stop, skeleton=True
+        )
+        assert cached == list(eager)
+        with pytest.raises(ValueError, match="out of bounds"):
+            skeletons_for_range(store, config, 0, size + 1)
+
+    def test_materialised_range_matches_eager(self, config, warmed_dir):
+        eager = population_module.deployments_for_range(config, 100, 140)
+        cached = deployments_for_range(SkeletonStore(warmed_dir), config, 100, 140)
+        assert len(cached) == len(eager)
+        for ours, theirs in zip(cached, eager):
+            assert ours.domain == theirs.domain
+            if theirs.https_chain is not None:
+                assert ours.https_chain.leaf.der == theirs.https_chain.leaf.der
+
+
+class TestGoldenArtefacts:
+    def test_golden_digests_through_a_warmed_cache(self, tmp_path):
+        """The byte-pinned reference campaign, warm-started: zero drift."""
+        golden_path = os.path.join(
+            os.path.dirname(__file__), "golden", "report_digests.json"
+        )
+        with open(golden_path, "r", encoding="utf-8") as handle:
+            golden = json.load(handle)
+        params = golden["campaign"]
+        config = PopulationConfig(size=params["size"], seed=params["seed"])
+        directory = str(tmp_path / "skel")
+        warm(directory, config)
+        reset_cache_counters()
+        results = MeasurementCampaign(
+            population=generate_population_cached(SkeletonStore(directory), config),
+            run_sweep=True,
+            sweep_sample_size=params["sweep_sample_size"],
+            spoofed_targets_per_provider=params["spoofed_targets_per_provider"],
+        ).run()
+        assert cache_counters()["misses"] == 0
+        with tempfile.TemporaryDirectory() as export_dir:
+            export_evaluation(results, export_dir)
+            for name in sorted(os.listdir(export_dir)):
+                with open(os.path.join(export_dir, name), "rb") as handle:
+                    digest = hashlib.sha256(handle.read()).hexdigest()
+                assert digest == golden["digests"].get(name), (
+                    f"warm-started {name} drifted from the golden artefact"
+                )
+
+
+def _warm_campaign_text(config, directory) -> str:
+    return build_report(
+        MeasurementCampaign(
+            population_config=config, skeleton_cache_dir=directory, **CAMPAIGN_KWARGS
+        ).run()
+    ).text
+
+
+class TestQuarantine:
+    @pytest.fixture()
+    def damaged_dir(self, warmed_dir, tmp_path):
+        """A private copy of the warmed directory for destructive tests."""
+        directory = str(tmp_path / "skel")
+        shutil.copytree(warmed_dir, directory)
+        return directory
+
+    @pytest.mark.parametrize(
+        "damage",
+        [
+            truncate_file,
+            corrupt_file,
+            lambda path: open(path, "wb").close(),  # emptied
+        ],
+        ids=["truncated", "corrupted", "emptied"],
+    )
+    def test_defective_file_is_quarantined_and_regenerated(
+        self, config, references, damaged_dir, damage
+    ):
+        store = SkeletonStore(damaged_dir)
+        victim = store.entries()[0]
+        damage(os.path.join(damaged_dir, victim))
+        assert _warm_campaign_text(config, damaged_dir) == references["plain"]
+        assert cache_counters()["misses"] == 1
+        fresh = SkeletonStore(damaged_dir)
+        assert victim in fresh.entries()  # regenerated under the same address
+        assert os.listdir(fresh.quarantine_directory)  # evidence kept
+
+    def test_stale_format_version_is_quarantined(self, config, references, damaged_dir):
+        store = SkeletonStore(damaged_dir)
+        path = os.path.join(damaged_dir, store.entries()[0])
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data.replace(b"/1", b"/0", 1))
+        assert _warm_campaign_text(config, damaged_dir) == references["plain"]
+        assert os.listdir(SkeletonStore(damaged_dir).quarantine_directory)
+
+    def test_foreign_shard_under_expected_name_is_quarantined(
+        self, config, references, damaged_dir, tmp_path
+    ):
+        """A same-shape shard of another population, renamed to the expected
+        filename, is internally consistent — only the embedded content
+        address gives it away."""
+        foreign_config = dataclasses.replace(config, seed=7)
+        foreign_dir = str(tmp_path / "foreign")
+        warm(foreign_dir, foreign_config)
+        foreign_store = SkeletonStore(foreign_dir)
+        foreign_path = os.path.join(foreign_dir, foreign_store.entries()[0])
+        store = SkeletonStore(damaged_dir)
+        victim = os.path.join(damaged_dir, store.entries()[0])
+        shutil.copyfile(foreign_path, victim)
+        reset_cache_counters()
+        assert _warm_campaign_text(config, damaged_dir) == references["plain"]
+        assert cache_counters()["misses"] == 1
+        assert os.listdir(SkeletonStore(damaged_dir).quarantine_directory)
+
+    def test_memo_is_authoritative_until_reset(self, config, tmp_path):
+        directory = str(tmp_path / "skel")
+        warm(directory, config)
+        store = SkeletonStore(directory)
+        shard, _ = store.load_or_generate(config, 0)
+        corrupt_file(os.path.join(directory, store.entries()[0]))
+        again, _ = store.load_or_generate(config, 0)
+        assert again is shard  # decoded-shard memo: disk not consulted
+        assert store.misses == 0
+        store.reset_memo()
+        store.load_or_generate(config, 0)  # now quarantines and regenerates
+        assert store.misses == 1
+        assert os.listdir(store.quarantine_directory)
+
+
+class TestDirectoryBinding:
+    def test_rebinding_the_same_population_is_fine(self, config, warmed_dir):
+        SkeletonStore(warmed_dir).bind(config)
+
+    @pytest.mark.parametrize(
+        "other",
+        [
+            lambda config: dataclasses.replace(config, size=600),
+            lambda config: dataclasses.replace(config, seed=7),
+        ],
+        ids=["size", "seed"],
+    )
+    def test_mismatched_population_is_rejected(self, config, warmed_dir, other):
+        with pytest.raises(SkeletonStoreError, match="different population"):
+            SkeletonStore(warmed_dir).bind(other(config))
+
+    def test_mismatched_cache_fails_the_campaign_eagerly(self, config, warmed_dir):
+        campaign = MeasurementCampaign(
+            population_config=dataclasses.replace(config, size=240),
+            skeleton_cache_dir=warmed_dir,
+            **CAMPAIGN_KWARGS,
+        )
+        with pytest.raises(SkeletonStoreError, match="different population"):
+            campaign.run()
+
+    def test_unreadable_metadata_is_rejected(self, config, tmp_path):
+        store = SkeletonStore(str(tmp_path / "skel"))
+        with open(store.metadata_path, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        with pytest.raises(SkeletonStoreError, match="unreadable"):
+            store.bind(config)
+
+    def test_store_caches_baseline_shards_only(self, config, tmp_path):
+        member = load_scenario("trimmed-chains").population_config(base=config)
+        assert member.scenario is not None and not member.scenario.is_identity
+        store = SkeletonStore(str(tmp_path / "skel"))
+        with pytest.raises(SkeletonStoreError, match="baseline"):
+            store.load_or_generate(member, 0)
+
+
+class TestWarmAndCounters:
+    def test_warm_twice_reports_hits(self, config, tmp_path):
+        directory = str(tmp_path / "skel")
+        assert warm(directory, config) == (0, 1)
+        assert warm(directory, config) == (1, 0)
+        assert cache_counters() == {"hits": 1, "misses": 1}
+        reset_cache_counters()
+        assert cache_counters() == {"hits": 0, "misses": 0}
+
+    def test_warm_strips_scenarios(self, config, tmp_path):
+        directory = str(tmp_path / "skel")
+        member = load_scenario("trimmed-chains").population_config(base=config)
+        assert warm(directory, member) == (0, 1)
+        assert warm(directory, config) == (1, 0)  # same baseline entry
+
+    def test_store_registry_is_per_directory_until_reset(self, tmp_path):
+        directory = str(tmp_path / "skel")
+        store = store_for(directory)
+        assert store_for(directory) is store
+        assert store_for(str(tmp_path / "other")) is not store
+        reset_stores()
+        assert store_for(directory) is not store
+
+
+class TestWarmPathObjects:
+    def test_chain_spec_pickles_without_its_hash_memo(self, shard_and_cache):
+        _, cache = shard_and_cache
+        spec = next(iter(cache))
+        memoized = hash(spec)
+        assert "_hash" not in spec.__getstate__()
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert hash(clone) == memoized
+
+    def test_deferred_leaf_expands_to_the_issued_fields(self, config, warmed_dir):
+        eager = population_module.deployments_for_range(config, 0, 24)
+        cached = deployments_for_range(SkeletonStore(warmed_dir), config, 0, 24)
+        compared = 0
+        for ours, theirs in zip(cached, eager):
+            if theirs.https_chain is None:
+                continue
+            ours_leaf = ours.https_chain.leaf
+            theirs_leaf = theirs.https_chain.leaf
+            assert ours_leaf.der == theirs_leaf.der
+            assert ours_leaf.san_names == theirs_leaf.san_names
+            # The deferred fields expand on first read, to the issued values.
+            assert ours_leaf.subject == theirs_leaf.subject
+            assert ours_leaf.validity == theirs_leaf.validity
+            assert ours_leaf.extensions == theirs_leaf.extensions
+            assert "_deferred" not in ours_leaf.__dict__
+            compared += 1
+        assert compared > 0
+
+    def test_deferred_leaf_pickles_after_expansion(self, config, warmed_dir):
+        shard, cache = SkeletonStore(warmed_dir).load_or_generate(config, 0)
+        leaf = next(iter(cache.values())).leaf
+        assert "_deferred" in leaf.__dict__
+        clone = pickle.loads(pickle.dumps(leaf))
+        assert "_deferred" not in clone.__dict__
+        assert clone.der == leaf.der
+        assert clone.subject == leaf.subject
+        assert clone.validity == leaf.validity
